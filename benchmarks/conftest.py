@@ -1,0 +1,55 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+The expensive artefact -- the measured evaluation dataset -- is cached by
+``repro.experiments.common`` at module level, so every benchmark in one
+pytest session reuses the same dataset and the same per-scheme evaluation
+runs, exactly like the paper evaluates every scheme on one recorded
+dataset.
+
+Scale knobs: ``REPRO_EVAL_POINTS`` (default 60, paper scale 1700) and
+``REPRO_GRID_RES`` (default 0.06 m).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_report_header(config):
+    from repro.experiments.common import eval_points, grid_resolution
+
+    return (
+        f"BLoc reproduction benches: {eval_points()} placements, "
+        f"{grid_resolution() * 100:.0f} cm grid "
+        "(REPRO_EVAL_POINTS / REPRO_GRID_RES to change)"
+    )
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    """Collects experiment reports; emits them at session end.
+
+    The emission bypasses pytest's output capture (teardown prints are
+    otherwise swallowed on success) and is also written to
+    ``bench_report.txt`` next to the invocation directory.
+    """
+    import sys
+    from pathlib import Path
+
+    reports = []
+    yield reports
+    if not reports:
+        return
+    lines = [
+        "",
+        "=" * 72,
+        "PAPER vs MEASURED (see EXPERIMENTS.md for the full record)",
+        "=" * 72,
+    ]
+    for report in reports:
+        lines.append(report)
+        lines.append("-" * 72)
+    text = "\n".join(lines)
+    sys.__stdout__.write(text + "\n")
+    sys.__stdout__.flush()
+    Path("bench_report.txt").write_text(text + "\n", encoding="utf-8")

@@ -1,0 +1,55 @@
+"""Bench: ablations of BLoc's design choices (DESIGN.md Section 5).
+
+Covers the entropy sign convention, the Eq. 18 weight sweep, the
+peak-selection strategies and the Eq. 10 correction on/off comparison.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ablations
+
+
+def test_ablation_selection_strategies(benchmark, report_sink):
+    result = benchmark.pedantic(
+        ablations.run_selection_strategies,
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    report_sink.append(result.format_report())
+    score = result.measured("median, Eq. 18 score (BLoc)")
+    shortest = result.measured("median, shortest-distance peak")
+    assert score < shortest
+
+
+def test_ablation_entropy_sign(benchmark, report_sink):
+    result = benchmark.pedantic(
+        ablations.run_entropy_sign, rounds=1, iterations=1, warmup_rounds=0
+    )
+    report_sink.append(result.format_report())
+    paper_sign = result.measured("median, b = +0.05 (paper, negentropy)")
+    flipped = result.measured("median, b = -0.05 (flipped sign)")
+    # Shape: the negentropy reading of the paper must not lose to the
+    # flipped sign.
+    assert paper_sign <= flipped * 1.05
+
+
+def test_ablation_weight_sweep(benchmark, report_sink):
+    result = benchmark.pedantic(
+        ablations.run_score_weights, rounds=1, iterations=1, warmup_rounds=0
+    )
+    report_sink.append(result.format_report())
+    at_paper = result.measured("median, a = 0.1 (b = 0.05)")
+    no_distance = result.measured("median, a = 0.0 (b = 0.05)")
+    # Shape: the distance term carries real signal.
+    assert at_paper < no_distance * 1.05
+
+
+def test_ablation_correction_off(benchmark, report_sink):
+    result = benchmark.pedantic(
+        ablations.run_correction_off, rounds=1, iterations=1, warmup_rounds=0
+    )
+    report_sink.append(result.format_report())
+    factor = result.measured("degradation factor")
+    # Shape: the Eq. 10 correction is load-bearing.
+    assert factor > 1.5

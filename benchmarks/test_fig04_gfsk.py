@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 4 (GFSK settling, random vs batched bits)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig04_gfsk
+
+
+def test_fig04_gfsk_settling(benchmark, report_sink):
+    result = benchmark.pedantic(
+        fig04_gfsk.run, rounds=1, iterations=1, warmup_rounds=0
+    )
+    report_sink.append(result.format_report())
+    random_fraction = result.measured(
+        "stable-frequency fraction, random bits"
+    )
+    batched_fraction = result.measured(
+        "stable-frequency fraction, 5-bit runs"
+    )
+    # Shape: batching must create substantially more stable tone time.
+    assert batched_fraction > random_fraction * 1.5
+    assert batched_fraction > 60.0

@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig. 6 (angle / hyperbola / joint likelihood views)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig06_profiles
+
+
+def test_fig06_likelihood_profiles(benchmark, report_sink):
+    result = benchmark.pedantic(
+        fig06_profiles.run, rounds=1, iterations=1, warmup_rounds=0
+    )
+    report_sink.append(result.format_report())
+    joint_error = result.measured("argmax error, joint map (c)")
+    # Shape: the joint map localises; the ambiguous single views need not.
+    assert joint_error < 150.0

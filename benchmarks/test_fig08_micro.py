@@ -1,0 +1,46 @@
+"""Bench: regenerate Fig. 8 (CSI stability, offset cancellation, profile)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig08_micro
+
+
+def test_fig08a_csi_stability(benchmark, report_sink):
+    result = benchmark.pedantic(
+        fig08_micro.run_csi_stability, rounds=1, iterations=1, warmup_rounds=0
+    )
+    report_sink.append(result.format_report())
+    worst_std = result.measured("worst per-band phase std over 9 repeats")
+    # Shape: the paper's Fig. 8a shows visually constant phase over time.
+    assert worst_std < 10.0
+
+
+def test_fig08b_offset_cancellation(benchmark, report_sink):
+    result = benchmark.pedantic(
+        fig08_micro.run_offset_cancellation,
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    report_sink.append(result.format_report())
+    raw = result.measured("phase-increment spread, no correction")
+    corrected = result.measured("phase-increment spread, BLoc correction")
+    # Shape: correction turns random per-band phase into near-linear.
+    assert corrected < raw / 3.0
+    assert raw > 60.0
+
+
+def test_fig08c_multipath_profile(benchmark, report_sink):
+    result = benchmark.pedantic(
+        fig08_micro.run_multipath_profile,
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    report_sink.append(result.format_report())
+    num_peaks = result.measured("candidate peaks in the combined profile")
+    winner_error = result.measured("error of the best-scored peak")
+    # Shape: multipath creates several candidates; scoring picks one in
+    # the true peak's neighbourhood.
+    assert num_peaks >= 2
+    assert winner_error < 100.0

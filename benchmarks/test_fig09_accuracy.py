@@ -1,0 +1,59 @@
+"""Bench: regenerate Fig. 9 (accuracy CDFs; anchors and antennas sweeps).
+
+Paper targets: BLoc 86 cm vs AoA 242 cm median (a 2.8x gap); 3 anchors
+degrade BLoc mildly, 2 anchors significantly; 3 antennas degrade BLoc
+minimally.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig09_accuracy
+
+
+def test_fig09a_bloc_vs_aoa(benchmark, report_sink):
+    result = benchmark.pedantic(
+        fig09_accuracy.run_accuracy, rounds=1, iterations=1, warmup_rounds=0
+    )
+    report_sink.append(result.format_report())
+    bloc_median = result.measured("BLoc median")
+    aoa_median = result.measured("AoA median")
+    # Shape: BLoc beats the AoA baseline by a large factor and reaches
+    # (near-)sub-metre accuracy.
+    assert bloc_median < aoa_median / 2.0
+    assert bloc_median < 120.0
+    assert aoa_median > 150.0
+
+
+def test_fig09b_anchor_sweep(benchmark, report_sink):
+    result = benchmark.pedantic(
+        fig09_accuracy.run_anchor_sweep,
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    report_sink.append(result.format_report())
+    bloc4 = result.measured("bloc median, 4 anchors")
+    bloc3 = result.measured("bloc median, 3 anchors")
+    bloc2 = result.measured("bloc median, 2 anchors")
+    # Shape: monotone degradation, with 2 anchors clearly worst.  Our
+    # simulated 4 -> 3 drop is steeper than the paper's 86 -> 91.5 cm
+    # (see EXPERIMENTS.md); the ordering is the asserted shape.
+    assert bloc4 <= bloc3 * 1.15  # allow statistical slack
+    assert bloc2 > bloc4
+    aoa4 = result.measured("aoa median, 4 anchors")
+    assert bloc3 < aoa4  # even 3-anchor BLoc beats the 4-anchor baseline
+
+
+def test_fig09c_antenna_sweep(benchmark, report_sink):
+    result = benchmark.pedantic(
+        fig09_accuracy.run_antenna_sweep,
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    report_sink.append(result.format_report())
+    bloc4 = result.measured("bloc median, 4 antennas")
+    bloc3 = result.measured("bloc median, 3 antennas")
+    # Shape: the antenna reduction has a minimal effect on BLoc --
+    # bandwidth compensates (paper: 86 -> 90 cm).
+    assert bloc3 < bloc4 * 1.5

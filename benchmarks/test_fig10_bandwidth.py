@@ -1,0 +1,29 @@
+"""Bench: regenerate Fig. 10 (median error vs stitched bandwidth).
+
+Paper targets: 160 / 134 / 110 / 86 cm at 2 / 20 / 40 / 80 MHz -- error
+decreasing monotonically and roughly halving across the sweep.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig10_bandwidth
+
+
+def test_fig10_bandwidth_sweep(benchmark, report_sink):
+    result = benchmark.pedantic(
+        fig10_bandwidth.run, rounds=1, iterations=1, warmup_rounds=0
+    )
+    report_sink.append(result.format_report())
+    medians = [
+        result.measured(f"BLoc median @ {label}")
+        for label in ("2 MHz", "20 MHz", "40 MHz", "80 MHz")
+    ]
+    # Shape: wider stitched bandwidth must help substantially end to end,
+    # and the sweep must trend downward (small non-monotonic jitter
+    # between adjacent points is statistical).
+    assert medians[-1] < medians[0] * 0.75
+    assert medians[1] < medians[0] * 1.1
+    assert medians[2] < medians[1] * 1.1
+    assert medians[3] < medians[2] * 1.1
+    ratio = result.measured("median ratio 2 MHz / 80 MHz")
+    assert ratio > 1.3  # paper: 1.86

@@ -1,0 +1,22 @@
+"""Bench: regenerate Fig. 12 (multipath rejection vs shortest distance).
+
+Paper target: replacing the Eq. 18 score with naive shortest-distance
+peak picking roughly doubles the median error (86 -> 195 cm).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig12_multipath
+
+
+def test_fig12_multipath_rejection(benchmark, report_sink):
+    result = benchmark.pedantic(
+        fig12_multipath.run, rounds=1, iterations=1, warmup_rounds=0
+    )
+    report_sink.append(result.format_report())
+    bloc_median = result.measured("BLoc median")
+    shortest_median = result.measured("shortest-distance median")
+    # Shape: the multipath-rejection score must be a large win.
+    assert shortest_median > bloc_median * 1.5
+    factor = result.measured("median degradation factor")
+    assert factor > 1.5  # paper: 2.27

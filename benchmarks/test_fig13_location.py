@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig. 13 (error vs tag location: corners are worst).
+
+Paper target: RMSE is "particularly high in the corner locations" due to
+the flattening of sin(theta) near +-90 deg, with no other consistent
+spatial pattern.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig13_location
+
+
+def test_fig13_spatial_error_map(benchmark, report_sink):
+    result = benchmark.pedantic(
+        fig13_location.run, rounds=1, iterations=1, warmup_rounds=0
+    )
+    report_sink.append(result.format_report())
+    ratio = result.measured("corner / interior RMSE ratio")
+    # Shape: corners are worse than the interior.
+    assert ratio > 1.0

@@ -1,0 +1,56 @@
+"""Bench: raw throughput of the pipeline's hot components.
+
+Not a paper figure -- these timings put the figure-regeneration costs in
+context and guard against performance regressions in the DSP kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ble.gfsk import GfskModulator
+from repro.ble.localization import localization_pdu
+from repro.ble.pdu import assemble_packet
+from repro.core import BlocLocalizer, correct_phase_offsets
+from repro.experiments.common import default_testbed, make_bloc
+from repro.sim import ChannelMeasurementModel
+from repro.utils.geometry2d import Point
+
+
+@pytest.fixture(scope="module")
+def observations():
+    model = ChannelMeasurementModel(testbed=default_testbed(), seed=3)
+    return model.measure(Point(0.5, 0.5))
+
+
+def test_throughput_gfsk_modulation(benchmark):
+    modulator = GfskModulator()
+    pdu = localization_pdu(channel_index=5)
+    packet = assemble_packet(pdu, access_address=0x5A3B9C71, channel_index=5)
+    iq = benchmark(modulator.modulate, packet.bits)
+    assert iq.size == packet.num_bits * modulator.samples_per_symbol
+
+
+def test_throughput_channel_measurement(benchmark):
+    model = ChannelMeasurementModel(testbed=default_testbed(), seed=4)
+    obs = benchmark(model.measure, Point(-0.7, 0.9))
+    assert obs.num_bands == 37
+
+
+def test_throughput_phase_correction(benchmark, observations):
+    corrected = benchmark(correct_phase_offsets, observations)
+    assert corrected.alpha.shape == observations.tag_to_anchor.shape
+
+
+def test_throughput_full_localization(benchmark, observations):
+    localizer = make_bloc()
+    result = benchmark.pedantic(
+        localizer.locate,
+        args=(observations,),
+        kwargs={"keep_map": False},
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    assert result.position is not None

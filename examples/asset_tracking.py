@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Factory-floor asset tracking: follow a moving BLE tag.
+
+The paper's industrial motivation (Section 1): "higher accuracy and
+robustness in industrial localization can automate processing pipelines".
+A tagged asset travels along a transport path across a factory cell full
+of metal machinery; BLoc produces a fix per localization round and the
+track is compared against ground truth and against RSSI trilateration.
+
+Run:  python examples/asset_tracking.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BlocLocalizer, ChannelMeasurementModel, Point
+from repro.baselines import RssiTrilateration
+from repro.core.tracking import TagTracker, track_errors_m
+from repro.rf.antenna import default_anchor_ring
+from repro.rf.environment import Environment
+from repro.rf.materials import METAL
+from repro.sim.scenario import sample_tag_positions
+from repro.sim.testbed import Testbed
+
+
+def build_factory_cell() -> Testbed:
+    """An 8 m x 6 m cell ringed by metal machinery."""
+    env = Environment(width=8.0, height=6.0, origin=Point(-4.0, -3.0))
+    # Machinery occupies the cell corners, leaving the anchors (mid-edge,
+    # facing inwards) a clear view of the transport area while keeping
+    # the cell multipath-rich.
+    machines = [
+        (Point(-3.7, -2.0), Point(-2.6, -2.9), "press"),
+        (Point(2.6, -2.9), Point(3.7, -2.0), "conveyor-frame"),
+        (Point(3.7, 2.0), Point(2.6, 2.9), "lathe"),
+        (Point(-2.6, 2.9), Point(-3.7, 2.0), "crane-rail"),
+    ]
+    for a, b, name in machines:
+        env.add_reflector(a, b, METAL, name=name)
+    anchors = default_anchor_ring(8.0, 6.0, origin=Point(-4.0, -3.0))
+    return Testbed(environment=env, anchors=anchors, master_index=0)
+
+
+def transport_path(num_points: int = 24) -> list:
+    """A U-shaped route through the cell (load -> process -> unload)."""
+    south = [Point(-3.0 + 6.0 * t, -1.8) for t in np.linspace(0, 1, 10)]
+    east = [Point(3.0, -1.8 + 3.2 * t) for t in np.linspace(0, 1, 7)[1:]]
+    north = [Point(3.0 - 5.5 * t, 1.4) for t in np.linspace(0, 1, 8)[1:]]
+    return (south + east + north)[:num_points]
+
+
+def main() -> None:
+    testbed = build_factory_cell()
+    # An industrial deployment gets a professional install: calibrated
+    # arrays (small residual element/phase errors) and per-fix averaging
+    # (higher effective SNR) compared to the paper's research testbed.
+    model = ChannelMeasurementModel(
+        testbed=testbed,
+        seed=5,
+        snr_db=25.0,
+        oscillator_drift_std=15.0,
+        calibration_error_m=0.01,
+        element_phase_error_deg=15.0,
+        element_gain_error_db=0.5,
+    )
+
+    rssi = RssiTrilateration()
+    rssi.calibrate(
+        [
+            model.measure(p, round_index=500 + k)
+            for k, p in enumerate(sample_tag_positions(testbed, 20, seed=9))
+        ]
+    )
+    bloc = BlocLocalizer()
+
+    # The asset moves ~0.5 m between fixes; a constant-velocity Kalman
+    # filter over the raw fixes smooths noise and gates ghost fixes.
+    tracker = TagTracker(measurement_std_m=0.35, acceleration_std=2.0)
+    fix_interval_s = 1.0  # one localization sweep per second while moving
+
+    print("Tracking a tagged asset along the transport path:\n")
+    print(f"{'true position':>18} {'BLoc fix':>18} {'err':>6}"
+          f" {'RSSI fix':>18} {'err':>6}")
+    truths, bloc_errors, rssi_errors = [], [], []
+    states = []
+    for step, asset in enumerate(transport_path()):
+        observations = model.measure(asset, round_index=step)
+        bloc_fix = bloc.locate(observations, keep_map=False).position
+        rssi_fix = rssi.locate(observations).position
+        states.append(tracker.update(bloc_fix, dt=fix_interval_s))
+        bloc_err = (bloc_fix - asset).norm()
+        rssi_err = (rssi_fix - asset).norm()
+        truths.append(asset)
+        bloc_errors.append(bloc_err)
+        rssi_errors.append(rssi_err)
+        print(
+            f"  ({asset.x:+5.2f}, {asset.y:+5.2f})"
+            f"   ({bloc_fix.x:+5.2f}, {bloc_fix.y:+5.2f}) {bloc_err * 100:4.0f}cm"
+            f"   ({rssi_fix.x:+5.2f}, {rssi_fix.y:+5.2f}) {rssi_err * 100:4.0f}cm"
+        )
+
+    filtered_errors = track_errors_m(states, truths)
+    print("\nTrack summary:")
+    print(
+        f"  BLoc raw      : median {np.median(bloc_errors) * 100:4.0f} cm,"
+        f" worst {np.max(bloc_errors) * 100:4.0f} cm"
+    )
+    print(
+        f"  BLoc filtered : median {np.median(filtered_errors) * 100:4.0f} cm,"
+        f" worst {np.max(filtered_errors) * 100:4.0f} cm"
+        f" ({sum(s.gated for s in states)} ghost fixes gated)"
+    )
+    print(
+        f"  RSSI          : median {np.median(rssi_errors) * 100:4.0f} cm,"
+        f" worst {np.max(rssi_errors) * 100:4.0f} cm"
+    )
+
+
+if __name__ == "__main__":
+    main()

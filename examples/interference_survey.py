@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Interference survey: localizing while avoiding Wi-Fi channels.
+
+BLE coexists with Wi-Fi (Section 8.6): a deployment commonly blacklists
+the BLE data channels overlapping busy Wi-Fi channels.  This example
+blacklists the channels under Wi-Fi channels 1, 6 and 11, runs BLoc on
+the remaining comb, and shows the accuracy barely moves -- the span, not
+the count, of channels sets the resolution.
+
+Run:  python examples/interference_survey.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    BlocLocalizer,
+    ChannelMeasurementModel,
+    build_dataset,
+    evaluate,
+    vicon_testbed,
+)
+from repro.ble.channels import ChannelMap, data_channel_to_frequency
+from repro.core.steering import aliasing_distance_m
+
+#: 2.4 GHz Wi-Fi channel centres [Hz] for channels 1, 6, 11.
+WIFI_CENTRES = (2.412e9, 2.437e9, 2.462e9)
+
+#: Half-width of a 20 MHz Wi-Fi channel.
+WIFI_HALF_WIDTH = 10e6
+
+
+def blacklist_under_wifi() -> ChannelMap:
+    """BLE data channels whose band overlaps an active Wi-Fi channel."""
+    blacklisted = []
+    for channel in range(37):
+        f = data_channel_to_frequency(channel)
+        if any(abs(f - c) < WIFI_HALF_WIDTH for c in WIFI_CENTRES):
+            blacklisted.append(channel)
+    return ChannelMap.from_blacklist(blacklisted)
+
+
+def main() -> None:
+    testbed = vicon_testbed()
+    reduced_map = blacklist_under_wifi()
+    print(
+        f"Wi-Fi channels 1/6/11 active: {37 - reduced_map.num_used} BLE "
+        f"data channels blacklisted, {reduced_map.num_used} remain"
+    )
+    survivors = ", ".join(str(c) for c in reduced_map.used)
+    print(f"Surviving channels: {survivors}")
+
+    freqs = np.array(reduced_map.frequencies())
+    largest_gap = float(np.max(np.diff(np.sort(freqs))))
+    print(
+        f"Largest spectral gap: {largest_gap / 1e6:.0f} MHz -> aliasing "
+        f"distance {aliasing_distance_m(largest_gap):.0f} m "
+        "(far beyond the room, so no indoor ghosts)"
+    )
+
+    num_positions = 25
+    bloc = BlocLocalizer()
+    full_model = ChannelMeasurementModel(testbed=testbed, seed=31)
+    full_dataset = build_dataset(
+        testbed, num_positions, seed=31, model=full_model
+    )
+    reduced_model = ChannelMeasurementModel(
+        testbed=testbed, seed=31, channel_map=reduced_map
+    )
+    reduced_dataset = build_dataset(
+        testbed, num_positions, seed=31, model=reduced_model
+    )
+
+    full_run = evaluate(bloc, full_dataset, label="all channels")
+    reduced_run = evaluate(bloc, reduced_dataset, label="Wi-Fi avoided")
+
+    print(f"\nAccuracy over {num_positions} placements:")
+    print(f"  all 37 channels : {full_run.stats().summary()}")
+    print(f"  Wi-Fi avoided   : {reduced_run.stats().summary()}")
+    ratio = (
+        reduced_run.stats().median_m() / max(full_run.stats().median_m(), 1e-9)
+    )
+    print(
+        f"  median ratio    : {ratio:.2f}x "
+        "(paper Sec. 8.6: gaps cost little as long as the span remains; "
+        "losing 3 Wi-Fi channels' worth of bands costs a bit of SNR)"
+    )
+
+
+if __name__ == "__main__":
+    main()

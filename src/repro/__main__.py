@@ -1,0 +1,118 @@
+"""Command-line interface: quick demos and evaluations from a terminal.
+
+Usage::
+
+    python -m repro demo                 # one fix + ASCII likelihood map
+    python -m repro evaluate -n 40      # BLoc vs baselines over a dataset
+    python -m repro floorplan           # render the default testbed
+    python -m repro throughput          # Section 6 airtime budget
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import (
+    AoaLocalizer,
+    BlocLocalizer,
+    ChannelMeasurementModel,
+    Point,
+    build_dataset,
+    evaluate,
+    shortest_distance_localizer,
+    vicon_testbed,
+)
+from repro.ble.throughput import throughput_with_localization
+from repro.viz import render_map, render_testbed
+
+
+def cmd_demo(args) -> int:
+    testbed = vicon_testbed()
+    model = ChannelMeasurementModel(testbed=testbed, seed=args.seed)
+    tag = Point(args.x, args.y)
+    observations = model.measure(tag)
+    result = BlocLocalizer().locate(observations)
+    print(
+        f"true ({tag.x:+.2f}, {tag.y:+.2f})  "
+        f"estimate ({result.position.x:+.2f}, {result.position.y:+.2f})  "
+        f"error {result.error_m(tag) * 100:.0f} cm"
+    )
+    print(
+        render_map(
+            result.likelihood.combined,
+            result.likelihood.grid,
+            width=66,
+            markers=[(tag, "T"), (result.position, "E")],
+        )
+    )
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    testbed = vicon_testbed()
+    dataset = build_dataset(testbed, num_positions=args.num, seed=args.seed)
+    schemes = {
+        "BLoc": BlocLocalizer(),
+        "AoA baseline": AoaLocalizer(),
+        "shortest-distance": shortest_distance_localizer(),
+    }
+    for name, localizer in schemes.items():
+        run = evaluate(localizer, dataset, label=name)
+        print(f"{name:<18} {run.stats().summary()}")
+    return 0
+
+
+def cmd_floorplan(args) -> int:
+    print(render_testbed(vicon_testbed(), width=args.width))
+    print("M = master anchor, A = anchors, # = reflectors/clutter")
+    return 0
+
+
+def cmd_throughput(args) -> int:
+    report = throughput_with_localization(
+        sweeps_per_second=args.sweeps
+    )
+    print(
+        f"localization packet: {report.localization_packet_us:.0f} us on air"
+    )
+    print(
+        f"{args.sweeps} sweep(s)/s costs "
+        f"{report.localization_airtime_fraction * 100:.1f}% of airtime; "
+        f"{report.data_throughput_bps / 1000:.0f} kbps of data remain"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="BLoc (CoNEXT 2018) reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="localize one simulated tag")
+    demo.add_argument("-x", type=float, default=0.8)
+    demo.add_argument("-y", type=float, default=0.4)
+    demo.add_argument("--seed", type=int, default=42)
+    demo.set_defaults(func=cmd_demo)
+
+    ev = sub.add_parser("evaluate", help="compare schemes over a dataset")
+    ev.add_argument("-n", "--num", type=int, default=30)
+    ev.add_argument("--seed", type=int, default=2018)
+    ev.set_defaults(func=cmd_evaluate)
+
+    plan = sub.add_parser("floorplan", help="render the default testbed")
+    plan.add_argument("--width", type=int, default=66)
+    plan.set_defaults(func=cmd_floorplan)
+
+    tp = sub.add_parser("throughput", help="Section 6 airtime budget")
+    tp.add_argument("--sweeps", type=float, default=1.0)
+    tp.set_defaults(func=cmd_throughput)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""Shortest-distance baseline: BLoc without its multipath score.
+
+Section 8.7's ablation: "replace the multipath rejection with a naive
+baseline that just picks the shortest distance path as the direct path".
+The pipeline is identical to BLoc up to and including peak detection; the
+selection simply takes the peak minimising the summed anchor distances,
+ignoring both the likelihood value and the spatial entropy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.localizer import BlocConfig, BlocLocalizer
+
+
+@dataclass
+class ShortestDistanceLocalizer(BlocLocalizer):
+    """BLoc with naive shortest-distance peak selection (Section 8.7)."""
+
+    def __post_init__(self):
+        self.config = BlocConfig(
+            grid_resolution_m=self.config.grid_resolution_m,
+            grid_margin_m=self.config.grid_margin_m,
+            peak=self.config.peak,
+            scoring=self.config.scoring,
+            selection="shortest",
+            refine_peaks=self.config.refine_peaks,
+        )
+
+
+def shortest_distance_localizer(**kwargs) -> BlocLocalizer:
+    """Convenience constructor mirroring :class:`BlocLocalizer`'s API."""
+    config = kwargs.pop("config", BlocConfig())
+    config = BlocConfig(
+        grid_resolution_m=config.grid_resolution_m,
+        grid_margin_m=config.grid_margin_m,
+        peak=config.peak,
+        scoring=config.scoring,
+        selection="shortest",
+        refine_peaks=config.refine_peaks,
+    )
+    return BlocLocalizer(config=config, **kwargs)

@@ -1,0 +1,84 @@
+"""Access-address generation and validation (Core spec Vol 6, Part B, 2.1.2).
+
+Each BLE connection is identified by a 32-bit access address chosen by the
+master.  The spec constrains the choice so that addresses are easy to
+correlate against and unlikely to alias one another; BLoc's slave anchors
+rely on the access address to follow the master <-> tag conversation they
+are overhearing (paper Section 3).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.constants import BLE_ADVERTISING_ACCESS_ADDRESS
+from repro.errors import ProtocolError
+from repro.utils.rng import RngLike, make_rng
+
+
+def address_to_bits(address: int) -> np.ndarray:
+    """32 access-address bits in air order (LSB first)."""
+    if not 0 <= address < (1 << 32):
+        raise ProtocolError(f"access address must fit in 32 bits: {address:#x}")
+    return np.array([(address >> k) & 1 for k in range(32)], dtype=np.uint8)
+
+
+def bits_to_address(bits: Sequence[int]) -> int:
+    """Inverse of :func:`address_to_bits`."""
+    arr = np.asarray(bits, dtype=np.uint8) & 1
+    if arr.size != 32:
+        raise ProtocolError(f"expected 32 bits, got {arr.size}")
+    value = 0
+    for k, bit in enumerate(arr):
+        value |= int(bit) << k
+    return value
+
+
+def _transitions(bits: np.ndarray) -> int:
+    return int(np.count_nonzero(np.diff(bits)))
+
+
+def is_valid_access_address(address: int) -> bool:
+    """Check the spec's validity rules for a data-channel access address.
+
+    Rules (2.1.2): no more than six consecutive identical bits; not the
+    advertising address; not differing from the advertising address by only
+    one bit; all four octets distinct from each other is NOT required, but
+    the four octets must not all be equal; no more than 24 transitions; at
+    least two transitions in the six most significant bits.
+    """
+    try:
+        bits = address_to_bits(address)
+    except ProtocolError:
+        return False
+    if address == BLE_ADVERTISING_ACCESS_ADDRESS:
+        return False
+    diff = address ^ BLE_ADVERTISING_ACCESS_ADDRESS
+    if diff != 0 and (diff & (diff - 1)) == 0:
+        return False
+    octets = [(address >> (8 * k)) & 0xFF for k in range(4)]
+    if len(set(octets)) == 1:
+        return False
+    longest = 1
+    current = 1
+    for previous, this in zip(bits[:-1], bits[1:]):
+        current = current + 1 if this == previous else 1
+        longest = max(longest, current)
+    if longest > 6:
+        return False
+    if _transitions(bits) > 24:
+        return False
+    if _transitions(bits[26:]) < 2:
+        return False
+    return True
+
+
+def random_access_address(rng: RngLike = None) -> int:
+    """Draw a uniformly random *valid* access address."""
+    generator = make_rng(rng)
+    while True:
+        candidate = int(generator.integers(0, 1 << 32))
+        if is_valid_access_address(candidate):
+            return candidate

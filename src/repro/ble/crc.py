@@ -1,0 +1,90 @@
+"""BLE CRC-24 (Core spec Vol 6, Part B, 3.1.1).
+
+Every PDU carries a 24-bit CRC computed over the PDU bits with polynomial
+x^24 + x^10 + x^9 + x^6 + x^4 + x^3 + x + 1.  The shift register is seeded
+with 0x555555 on advertising channels and with a connection-specific CRC
+init value on data channels.
+
+Bits are processed in air order (LSB of each octet first); the register is
+implemented positionally like the spec figure so the bit ordering is
+unambiguous.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.constants import BLE_CRC_INIT_ADVERTISING
+from repro.errors import CrcError, ProtocolError
+
+#: Feedback tap positions of the CRC-24 LFSR (inputs of these positions are
+#: XORed with the feedback bit); position 0's input always takes feedback.
+_TAP_POSITIONS = (1, 3, 4, 6, 9, 10)
+
+
+def _init_state(crc_init: int) -> list:
+    """Load the 24-bit init value into the register, position 0 = LSB."""
+    if not 0 <= crc_init < (1 << 24):
+        raise ProtocolError(f"crc init must fit in 24 bits, got {crc_init:#x}")
+    return [(crc_init >> k) & 1 for k in range(24)]
+
+
+def crc24(bits: Sequence[int], crc_init: int = BLE_CRC_INIT_ADVERTISING) -> int:
+    """CRC-24 of a PDU bit stream, returned as a 24-bit integer.
+
+    Args:
+        bits: PDU bits in air (transmission) order.
+        crc_init: 24-bit initial register value.
+    """
+    state = _init_state(crc_init)
+    for bit in np.asarray(bits, dtype=np.uint8) & 1:
+        feedback = state[23] ^ int(bit)
+        state = [feedback] + state[:23]
+        for position in _TAP_POSITIONS:
+            state[position] ^= feedback
+    value = 0
+    for k in range(24):
+        value |= state[k] << k
+    return value
+
+
+def crc24_bits(
+    bits: Sequence[int], crc_init: int = BLE_CRC_INIT_ADVERTISING
+) -> np.ndarray:
+    """CRC-24 as the 24 bits appended on air (position 23 first, per spec)."""
+    value = crc24(bits, crc_init)
+    return np.array([(value >> (23 - k)) & 1 for k in range(24)], dtype=np.uint8)
+
+
+def append_crc(
+    pdu_bits: Sequence[int], crc_init: int = BLE_CRC_INIT_ADVERTISING
+) -> np.ndarray:
+    """PDU bits with the CRC appended, ready for whitening/modulation."""
+    pdu = np.asarray(pdu_bits, dtype=np.uint8) & 1
+    return np.concatenate([pdu, crc24_bits(pdu, crc_init)])
+
+
+def check_crc(
+    pdu_and_crc_bits: Sequence[int],
+    crc_init: int = BLE_CRC_INIT_ADVERTISING,
+) -> np.ndarray:
+    """Verify and strip the trailing CRC; return the bare PDU bits.
+
+    Raises:
+        CrcError: when the received CRC does not match the recomputed one.
+        ProtocolError: when the stream is too short to contain a CRC.
+    """
+    arr = np.asarray(pdu_and_crc_bits, dtype=np.uint8) & 1
+    if arr.size < 24:
+        raise ProtocolError("bit stream shorter than a CRC")
+    pdu, received = arr[:-24], arr[-24:]
+    expected_bits = crc24_bits(pdu, crc_init)
+    if not np.array_equal(received, expected_bits):
+        expected = crc24(pdu, crc_init)
+        actual = 0
+        for k, bit in enumerate(received):
+            actual |= int(bit) << (23 - k)
+        raise CrcError(expected=expected, actual=actual)
+    return pdu

@@ -1,0 +1,159 @@
+"""Minimal BLE link layer: connections and two-way connection events.
+
+BLoc needs exactly one link-layer behaviour (paper Sections 2.1, 3, 5.2):
+once a master and a slave are connected, every connection event is a
+two-way exchange -- master transmits, slave responds -- on a data channel
+chosen by the hop sequence, and both transmissions of one event happen on
+the *same* channel within the same oscillator-tuning period.  That pairing
+is what makes the triple-product phase correction of Eq. 10 possible.
+
+This module schedules those events and builds the localization packets for
+both directions; the radio/propagation part lives in :mod:`repro.sdr` and
+:mod:`repro.sim`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.constants import BLE_NUM_DATA_CHANNELS
+from repro.errors import ConfigurationError
+from repro.ble.access_address import random_access_address
+from repro.ble.channels import ChannelMap, data_channel_to_frequency
+from repro.ble.hopping import HopSequence
+from repro.ble.localization import localization_pdu
+from repro.ble.pdu import DataPdu, OnAirPacket, assemble_packet
+from repro.utils.rng import RngLike, make_rng
+
+#: Default connection interval [s].  BLE allows 7.5 ms .. 4 s; the paper
+#: notes BLE "hops through all channels 40 times every second", i.e. a
+#: short interval; one full 37-event localization sweep then takes ~25 ms.
+DEFAULT_CONNECTION_INTERVAL_S = 7.5e-3
+
+
+@dataclass(frozen=True)
+class ConnectionEvent:
+    """One two-way master <-> slave exchange on a single data channel.
+
+    Attributes:
+        event_index: connection event counter (0-based).
+        data_channel: data channel index used by both packets.
+        frequency_hz: centre frequency of that channel.
+        start_time_s: event anchor time since connection establishment.
+        master_packet: the packet the master transmits.
+        slave_packet: the tag's response packet.
+    """
+
+    event_index: int
+    data_channel: int
+    frequency_hz: float
+    start_time_s: float
+    master_packet: OnAirPacket
+    slave_packet: OnAirPacket
+
+
+@dataclass
+class Connection:
+    """An established BLE connection generating localization events.
+
+    Attributes:
+        access_address: 32-bit connection identifier.
+        crc_init: 24-bit CRC seed agreed at connection setup.
+        hop_increment: CSA#1 hop step.
+        channel_map: usable data channels.
+        connection_interval_s: spacing of connection events.
+        run_length: localization tone run length in bits.
+        num_pairs: number of 0/1 run pairs per packet.
+        whitening_enabled: whether packets are whitened on air.
+    """
+
+    access_address: int = 0
+    crc_init: int = 0x555555
+    hop_increment: int = 7
+    channel_map: ChannelMap = field(default_factory=ChannelMap.all_channels)
+    connection_interval_s: float = DEFAULT_CONNECTION_INTERVAL_S
+    run_length: int = 8
+    num_pairs: int = 8
+    whitening_enabled: bool = True
+    start_channel: int = 0
+    _hops: HopSequence = field(init=False, repr=False)
+    _event_index: int = field(init=False, default=0, repr=False)
+
+    def __post_init__(self):
+        if self.connection_interval_s <= 0:
+            raise ConfigurationError("connection interval must be > 0")
+        self._hops = HopSequence(
+            hop_increment=self.hop_increment,
+            channel_map=self.channel_map,
+            start_channel=self.start_channel,
+        )
+
+    def _build_packet(self, channel: int, sn: int, nesn: int) -> OnAirPacket:
+        pdu = localization_pdu(
+            channel, run_length=self.run_length, num_pairs=self.num_pairs
+        )
+        pdu = DataPdu(
+            payload=pdu.payload, llid=pdu.llid, sn=sn, nesn=nesn, md=0
+        )
+        return assemble_packet(
+            pdu,
+            access_address=self.access_address,
+            channel_index=channel,
+            crc_init=self.crc_init,
+            whitening_enabled=self.whitening_enabled,
+        )
+
+    def next_event(self) -> ConnectionEvent:
+        """Produce the next connection event and advance the hop sequence."""
+        channel = self._hops.current()
+        index = self._event_index
+        sn = index & 1
+        event = ConnectionEvent(
+            event_index=index,
+            data_channel=channel,
+            frequency_hz=data_channel_to_frequency(channel),
+            start_time_s=index * self.connection_interval_s,
+            master_packet=self._build_packet(channel, sn=sn, nesn=sn),
+            slave_packet=self._build_packet(channel, sn=sn, nesn=sn ^ 1),
+        )
+        self._hops.advance()
+        self._event_index += 1
+        return event
+
+    def events(self, count: int) -> Iterator[ConnectionEvent]:
+        """Yield the next ``count`` connection events."""
+        for _ in range(count):
+            yield self.next_event()
+
+    def localization_sweep(self) -> List[ConnectionEvent]:
+        """Events of one full 37-hop cycle (covers every usable channel).
+
+        This is one BLoc measurement round: afterwards every channel in the
+        map has at least one two-way exchange (Section 5.1).
+        """
+        return list(self.events(BLE_NUM_DATA_CHANNELS))
+
+
+def establish_connection(
+    rng: RngLike = None,
+    hop_increment: Optional[int] = None,
+    channel_map: Optional[ChannelMap] = None,
+    **kwargs,
+) -> Connection:
+    """Simulate connection establishment: pick an access address, CRC init
+    and hop increment the way a master would, then return the connection.
+    """
+    generator = make_rng(rng)
+    if hop_increment is None:
+        hop_increment = int(generator.integers(5, 17))
+    if channel_map is None:
+        channel_map = ChannelMap.all_channels()
+    return Connection(
+        access_address=random_access_address(generator),
+        crc_init=int(generator.integers(0, 1 << 24)),
+        hop_increment=hop_increment,
+        channel_map=channel_map,
+        start_channel=int(generator.integers(0, BLE_NUM_DATA_CHANNELS)),
+        **kwargs,
+    )

@@ -1,0 +1,158 @@
+"""Array calibration: estimate and remove per-element response errors.
+
+The paper deploys "customized" anchors (Section 6) and, like every
+phased-array system (ArrayTrack devotes a section to it), real BLoc
+anchors need a calibration pass: each receive chain has its own gain and
+phase, which tilts angle estimates.  This module implements the standard
+reference-beacon procedure:
+
+1. place a beacon at a *known* position (e.g. the master anchor's own
+   position is known from deployment, or a surveyed point);
+2. measure CSI at every anchor;
+3. the expected geometric channel to each element is computable, so the
+   per-element complex response is the ratio measured/expected, averaged
+   over bands (per-hop offsets cancel inside one anchor because one
+   oscillator drives all elements);
+4. divide subsequent measurements by the estimated responses.
+
+The estimated response absorbs an arbitrary common factor per anchor
+(indistinguishable from the per-packet oscillator offset); only the
+*relative* response across elements matters, and that is exactly what
+angle estimation needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.constants import SPEED_OF_LIGHT
+from repro.core.observations import ChannelObservations
+from repro.errors import ConfigurationError, MeasurementError
+from repro.utils.geometry2d import Point
+
+
+@dataclass
+class ArrayCalibration:
+    """Estimated per-element complex responses.
+
+    Attributes:
+        responses: complex array of shape ``(num_anchors, num_antennas)``,
+            normalised so element 0 of each anchor has response 1 (the
+            common per-anchor factor is unobservable and irrelevant).
+    """
+
+    responses: np.ndarray
+
+    def __post_init__(self):
+        self.responses = np.asarray(self.responses, dtype=complex)
+        if self.responses.ndim != 2:
+            raise ConfigurationError("responses must be (anchors, antennas)")
+        if np.any(np.abs(self.responses) < 1e-9):
+            raise ConfigurationError("responses must be non-zero")
+
+    @property
+    def num_anchors(self) -> int:
+        """Number of calibrated anchors."""
+        return int(self.responses.shape[0])
+
+    @property
+    def num_antennas(self) -> int:
+        """Elements per anchor."""
+        return int(self.responses.shape[1])
+
+    def phase_errors_deg(self) -> np.ndarray:
+        """Relative element phase errors [deg] (diagnostics)."""
+        relative = self.responses / self.responses[:, :1]
+        return np.degrees(np.angle(relative))
+
+    def apply(self, observations: ChannelObservations) -> ChannelObservations:
+        """Return observations with element responses divided out."""
+        if (
+            observations.num_anchors != self.num_anchors
+            or observations.num_antennas != self.num_antennas
+        ):
+            raise ConfigurationError(
+                "calibration shape does not match the observations"
+            )
+        correction = 1.0 / self.responses  # (I, J)
+        return replace(
+            observations,
+            tag_to_anchor=observations.tag_to_anchor
+            * correction[:, :, None],
+            master_to_anchor=observations.master_to_anchor
+            * correction[:, :, None],
+        )
+
+
+def expected_geometric_channels(
+    beacon: Point,
+    observations: ChannelObservations,
+) -> np.ndarray:
+    """Ideal free-space channels from a beacon to every element.
+
+    Shape ``(num_anchors, num_antennas, num_bands)``.  Multipath makes
+    the per-band values deviate, which is why the estimator below
+    averages the element *ratios* over many bands: the direct path
+    dominates each ratio on average while multipath decorrelates.
+    """
+    freqs = observations.frequencies_hz
+    out = np.empty(
+        (
+            observations.num_anchors,
+            observations.num_antennas,
+            freqs.size,
+        ),
+        dtype=complex,
+    )
+    for i, anchor in enumerate(observations.anchors):
+        for j in range(observations.num_antennas):
+            d = (beacon - anchor.antenna_position(j)).norm()
+            out[i, j] = (1.0 / max(d, 1e-6)) * np.exp(
+                -2j * np.pi * freqs * d / SPEED_OF_LIGHT
+            )
+    return out
+
+
+def estimate_calibration(
+    reference_observations: Sequence[ChannelObservations],
+    beacon_positions: Optional[Sequence[Point]] = None,
+) -> ArrayCalibration:
+    """Estimate element responses from reference-beacon measurements.
+
+    Args:
+        reference_observations: one or more measurement rounds of beacons
+            at known positions (more rounds / positions average multipath
+            down).
+        beacon_positions: the known positions; defaults to each
+            observation's ``ground_truth``.
+
+    Raises:
+        MeasurementError: when no usable reference data is provided.
+    """
+    if not reference_observations:
+        raise MeasurementError("need at least one reference measurement")
+    if beacon_positions is None:
+        beacon_positions = [o.ground_truth for o in reference_observations]
+    if any(p is None for p in beacon_positions):
+        raise MeasurementError(
+            "every reference measurement needs a known beacon position"
+        )
+    first = reference_observations[0]
+    accumulator = np.zeros(
+        (first.num_anchors, first.num_antennas), dtype=complex
+    )
+    for observations, beacon in zip(reference_observations, beacon_positions):
+        expected = expected_geometric_channels(beacon, observations)
+        # Per-band element ratios relative to element 0, so the per-hop
+        # oscillator phase (common to the whole anchor) divides out.
+        measured = observations.tag_to_anchor
+        ratio = (measured / expected) / (
+            (measured[:, :1, :] / expected[:, :1, :])
+        )
+        accumulator += ratio.mean(axis=2)
+    responses = accumulator / len(reference_observations)
+    responses[:, 0] = 1.0
+    return ArrayCalibration(responses=responses)

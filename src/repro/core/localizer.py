@@ -1,0 +1,171 @@
+"""The end-to-end BLoc localizer.
+
+Wire-up of the whole Section 5 pipeline:
+
+    observations -> phase-offset correction (Eq. 10)
+                 -> per-anchor likelihood maps over space (Eq. 17)
+                 -> combined map -> peaks -> Eq. 18 scoring -> position
+
+Alternative peak-selection strategies are built in because the paper's
+Section 8.7 ablates them: ``"score"`` is full BLoc, ``"shortest"`` is the
+naive shortest-distance baseline, ``"max_likelihood"`` just takes the
+global maximum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.correction import CorrectedChannels, correct_phase_offsets
+from repro.core.likelihood import LikelihoodMap, compute_likelihood_map
+from repro.core.observations import ChannelObservations
+from repro.core.peaks import Peak, PeakConfig, find_peaks, refine_peak_position
+from repro.core.scoring import ScoredPeak, ScoringConfig, score_peaks
+from repro.errors import ConfigurationError, LocalizationError
+from repro.utils.gridmap import Grid2D
+from repro.utils.geometry2d import Point
+
+#: Valid peak-selection strategies.
+SELECTION_STRATEGIES = ("score", "shortest", "max_likelihood")
+
+
+@dataclass(frozen=True)
+class BlocConfig:
+    """Configuration of the BLoc pipeline.
+
+    Attributes:
+        grid_resolution_m: spacing of the candidate-position grid.
+        grid_margin_m: how far the grid extends beyond the anchor hull.
+        peak: peak-detection parameters.
+        scoring: Eq. 18 parameters.
+        selection: peak-selection strategy (see module docstring).
+        refine_peaks: sub-grid quadratic refinement of the winner.
+    """
+
+    grid_resolution_m: float = 0.05
+    grid_margin_m: float = 0.25
+    peak: PeakConfig = field(default_factory=PeakConfig)
+    scoring: ScoringConfig = field(default_factory=ScoringConfig)
+    selection: str = "score"
+    refine_peaks: bool = True
+
+    def __post_init__(self):
+        if self.grid_resolution_m <= 0:
+            raise ConfigurationError("grid resolution must be > 0")
+        if self.grid_margin_m < 0:
+            raise ConfigurationError("grid margin must be >= 0")
+        if self.selection not in SELECTION_STRATEGIES:
+            raise ConfigurationError(
+                f"selection must be one of {SELECTION_STRATEGIES}, "
+                f"got {self.selection!r}"
+            )
+
+
+@dataclass
+class LocalizationResult:
+    """Everything the pipeline produced for one fix.
+
+    Attributes:
+        position: the estimated tag position.
+        scored_peaks: all candidate peaks with their scores (best first by
+            the *active* strategy).
+        likelihood: the full likelihood map (kept for analysis; drop it
+            for bulk runs with ``keep_map=False``).
+    """
+
+    position: Point
+    scored_peaks: List[ScoredPeak]
+    likelihood: Optional[LikelihoodMap] = None
+
+    def error_m(self, ground_truth: Point) -> float:
+        """Euclidean distance to a ground-truth position."""
+        return (self.position - ground_truth).norm()
+
+
+@dataclass
+class BlocLocalizer:
+    """CSI-based BLE localizer (the paper's system).
+
+    Attributes:
+        config: pipeline configuration.
+        bounds: optional fixed grid bounds ``(x_min, x_max, y_min, y_max)``;
+            by default the grid covers the anchors' bounding box plus the
+            configured margin.
+    """
+
+    config: BlocConfig = field(default_factory=BlocConfig)
+    bounds: Optional[Tuple[float, float, float, float]] = None
+
+    def grid_for(self, observations: ChannelObservations) -> Grid2D:
+        """The evaluation grid for a set of observations."""
+        if self.bounds is not None:
+            return Grid2D.from_bounds(self.bounds, self.config.grid_resolution_m)
+        xs = [a.position.x for a in observations.anchors]
+        ys = [a.position.y for a in observations.anchors]
+        margin = self.config.grid_margin_m
+        return Grid2D(
+            min(xs) - margin,
+            max(xs) + margin,
+            min(ys) - margin,
+            max(ys) + margin,
+            self.config.grid_resolution_m,
+        )
+
+    def correct(self, observations: ChannelObservations) -> CorrectedChannels:
+        """Stage 1: remove per-hop oscillator phase offsets (Eq. 10)."""
+        return correct_phase_offsets(observations)
+
+    def map_likelihood(
+        self, corrected: CorrectedChannels, grid: Grid2D
+    ) -> LikelihoodMap:
+        """Stage 2: per-anchor Eq. 17 maps, combined over anchors."""
+        return compute_likelihood_map(corrected, grid)
+
+    def pick_peak(
+        self,
+        likelihood: LikelihoodMap,
+        corrected: CorrectedChannels,
+    ) -> List[ScoredPeak]:
+        """Stage 3: find and rank candidate peaks by the active strategy."""
+        peaks = find_peaks(likelihood.combined, likelihood.grid, self.config.peak)
+        scored = score_peaks(
+            peaks,
+            likelihood.combined,
+            likelihood.grid,
+            corrected.anchors,
+            self.config.scoring,
+        )
+        if self.config.selection == "shortest":
+            scored = sorted(scored, key=lambda s: s.distance_sum_m)
+        elif self.config.selection == "max_likelihood":
+            scored = sorted(scored, key=lambda s: s.peak.value, reverse=True)
+        return scored
+
+    def locate(
+        self,
+        observations: ChannelObservations,
+        keep_map: bool = True,
+    ) -> LocalizationResult:
+        """Run the full pipeline on one observation set.
+
+        Raises:
+            LocalizationError: when the likelihood map is degenerate.
+        """
+        corrected = self.correct(observations)
+        grid = self.grid_for(observations)
+        likelihood = self.map_likelihood(corrected, grid)
+        scored = self.pick_peak(likelihood, corrected)
+        winner = scored[0]
+        position = winner.peak.position
+        if self.config.refine_peaks:
+            position = refine_peak_position(
+                likelihood.combined, grid, winner.peak
+            )
+        return LocalizationResult(
+            position=position,
+            scored_peaks=scored,
+            likelihood=likelihood if keep_map else None,
+        )

@@ -1,0 +1,144 @@
+"""Peak detection on 2-D likelihood maps.
+
+The multipath-resolution stage (Section 5.4) reasons about *peaks* of the
+combined likelihood: the direct path and each resolvable reflection appear
+as local maxima.  This module finds them with a maximum filter, prunes
+weak ones, and enforces a minimum separation so one physical peak is not
+reported twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+from scipy import ndimage
+
+from repro.errors import ConfigurationError, LocalizationError
+from repro.utils.geometry2d import Point
+from repro.utils.gridmap import Grid2D
+
+
+@dataclass(frozen=True)
+class Peak:
+    """One local maximum of a likelihood map.
+
+    Attributes:
+        row, col: grid indices of the maximum.
+        position: world coordinates of the maximum.
+        value: likelihood at the maximum.
+    """
+
+    row: int
+    col: int
+    position: Point
+    value: float
+
+
+@dataclass(frozen=True)
+class PeakConfig:
+    """Peak-detection knobs.
+
+    Attributes:
+        neighborhood: size of the local-maximum filter window (odd).
+        min_relative_value: discard peaks below this fraction of the
+            global maximum.
+        min_separation_m: suppress peaks closer than this to a stronger one.
+        max_peaks: cap on the number of returned peaks.
+    """
+
+    neighborhood: int = 5
+    min_relative_value: float = 0.35
+    min_separation_m: float = 0.4
+    max_peaks: int = 12
+
+    def __post_init__(self):
+        if self.neighborhood < 3 or self.neighborhood % 2 == 0:
+            raise ConfigurationError("neighborhood must be odd and >= 3")
+        if not 0.0 <= self.min_relative_value <= 1.0:
+            raise ConfigurationError(
+                "min_relative_value must be in [0, 1]"
+            )
+        if self.min_separation_m < 0:
+            raise ConfigurationError("min_separation_m must be >= 0")
+        if self.max_peaks < 1:
+            raise ConfigurationError("max_peaks must be >= 1")
+
+
+def find_peaks(
+    values: np.ndarray, grid: Grid2D, config: PeakConfig = PeakConfig()
+) -> List[Peak]:
+    """Local maxima of a map, strongest first.
+
+    Raises:
+        LocalizationError: when the map is degenerate (all equal/zero),
+            which would make every localizer downstream meaningless.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.shape != grid.shape:
+        raise ConfigurationError(
+            f"map shape {arr.shape} does not match grid {grid.shape}"
+        )
+    global_max = float(arr.max())
+    if global_max <= 0 or np.allclose(arr, arr.flat[0]):
+        raise LocalizationError("likelihood map is flat; nothing to locate")
+    local_max = (
+        ndimage.maximum_filter(arr, size=config.neighborhood, mode="nearest")
+        == arr
+    )
+    threshold = config.min_relative_value * global_max
+    candidate_mask = local_max & (arr >= threshold)
+    rows, cols = np.nonzero(candidate_mask)
+    order = np.argsort(arr[rows, cols])[::-1]
+    selected: List[Peak] = []
+    for idx in order:
+        row, col = int(rows[idx]), int(cols[idx])
+        position = grid.point_at(row, col)
+        too_close = any(
+            (position - p.position).norm() < config.min_separation_m
+            for p in selected
+        )
+        if too_close:
+            continue
+        selected.append(
+            Peak(
+                row=row,
+                col=col,
+                position=position,
+                value=float(arr[row, col]),
+            )
+        )
+        if len(selected) >= config.max_peaks:
+            break
+    if not selected:
+        raise LocalizationError("no peaks cleared the detection threshold")
+    return selected
+
+
+def refine_peak_position(
+    values: np.ndarray, grid: Grid2D, peak: Peak
+) -> Point:
+    """Sub-grid peak position via a quadratic fit on the 3x3 neighbourhood.
+
+    Keeps the grid resolution from flooring the localization accuracy: a
+    5 cm grid with refinement resolves to ~1 cm on smooth peaks.  Falls
+    back to the grid node at map borders.
+    """
+    arr = np.asarray(values, dtype=float)
+    row, col = peak.row, peak.col
+    if not (1 <= row < grid.num_y - 1 and 1 <= col < grid.num_x - 1):
+        return peak.position
+    window = arr[row - 1:row + 2, col - 1:col + 2]
+    offsets = []
+    for axis_values in (window[1, :], window[:, 1]):
+        denom = axis_values[0] - 2 * axis_values[1] + axis_values[2]
+        if abs(denom) < 1e-12:
+            offsets.append(0.0)
+        else:
+            delta = 0.5 * (axis_values[0] - axis_values[2]) / denom
+            offsets.append(float(np.clip(delta, -0.5, 0.5)))
+    return Point(
+        peak.position.x + offsets[0] * grid.resolution,
+        peak.position.y + offsets[1] * grid.resolution,
+    )

@@ -1,0 +1,81 @@
+"""Run every figure reproduction and print (or save) the full report.
+
+Usage::
+
+    python -m repro.experiments                # print all reports
+    python -m repro.experiments fig9 fig10     # selected experiments
+    python -m repro.experiments --output EXPERIMENTS.md
+
+``REPRO_EVAL_POINTS`` scales the dataset (default 60; the paper used
+1700).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.common import eval_points
+
+
+def build_report(experiment_ids) -> str:
+    """Run the selected experiments and assemble the markdown report."""
+    sections = [
+        "# EXPERIMENTS — paper vs measured",
+        "",
+        "Reproduction of *BLoc: CSI-based Accurate Localization for BLE "
+        "Tags* (CoNEXT 2018).",
+        f"Dataset: {eval_points()} simulated tag placements "
+        "(`REPRO_EVAL_POINTS` scales this; the paper used 1700).",
+        "Absolute numbers come from a physics simulator, not the authors' "
+        "testbed; the comparison targets are the paper's *shapes* "
+        "(who wins, by what factor, monotonicities).",
+        "",
+    ]
+    for experiment_id in experiment_ids:
+        runner = EXPERIMENTS[experiment_id]
+        start = time.time()
+        result = runner()
+        elapsed = time.time() - start
+        sections.append(f"## {result.experiment_id}: {result.title}")
+        sections.append("")
+        sections.append("```")
+        sections.append(result.format_report())
+        sections.append(f"(ran in {elapsed:.1f}s)")
+        sections.append("```")
+        sections.append("")
+    return "\n".join(sections)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the BLoc figure reproductions"
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=[],
+        help=f"experiment ids (default: all of {sorted(EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--output", help="write the report to this file instead of stdout"
+    )
+    args = parser.parse_args(argv)
+    ids = args.experiments or list(EXPERIMENTS)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}")
+    report = build_report(ids)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"wrote {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,182 @@
+"""Ablations of BLoc's design choices (beyond the paper's figures).
+
+DESIGN.md calls out the decisions worth stress-testing:
+
+* the Eq. 18 peak-selection strategy vs max-likelihood and vs
+  shortest-distance (partially covered by Fig. 12);
+* the entropy term's sign convention (we implement H as negentropy /
+  peakiness; flipping ``b`` negative must hurt);
+* the score weights (a, b) = (0.1, 0.05) from Section 7;
+* the Eq. 10 phase correction itself (feeding raw channels into Eq. 17
+  must collapse accuracy to the aliasing scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core import (
+    BlocConfig,
+    BlocLocalizer,
+    ScoringConfig,
+)
+from repro.core.correction import CorrectedChannels, anchor_baselines
+from repro.core.observations import ChannelObservations
+from repro.experiments.common import (
+    ExperimentResult,
+    ExperimentRow,
+    default_dataset,
+    grid_resolution,
+    run_scheme,
+    stats_of,
+)
+from repro.sim import evaluate
+
+
+@dataclass
+class UncorrectedBloc(BlocLocalizer):
+    """BLoc with the Eq. 10 correction disabled: raw channels as alpha.
+
+    The random per-hop offsets then garble the cross-band phase, which is
+    exactly the failure mode Section 5.1 describes.
+    """
+
+    def correct(self, observations: ChannelObservations) -> CorrectedChannels:
+        return CorrectedChannels(
+            anchors=list(observations.anchors),
+            master_index=observations.master_index,
+            frequencies_hz=observations.frequencies_hz.copy(),
+            alpha=observations.tag_to_anchor.copy(),
+            anchor_baselines_m=np.zeros(observations.num_anchors),
+        )
+
+
+def _bloc_with_scoring(scoring: ScoringConfig) -> BlocLocalizer:
+    return BlocLocalizer(
+        config=BlocConfig(
+            grid_resolution_m=grid_resolution(), scoring=scoring
+        )
+    )
+
+
+def run_selection_strategies(
+    num_positions: Optional[int] = None,
+) -> ExperimentResult:
+    """Score vs max-likelihood vs shortest-distance selection."""
+    rows = []
+    for scheme, label in (
+        ("bloc", "Eq. 18 score (BLoc)"),
+        ("maxlik", "max-likelihood peak"),
+        ("shortest", "shortest-distance peak"),
+    ):
+        stats = stats_of(run_scheme(scheme, num_positions=num_positions))
+        rows.append(
+            ExperimentRow(f"median, {label}", 100 * stats.median_m(), None)
+        )
+    return ExperimentResult(
+        experiment_id="ablation-selection",
+        title="Peak-selection strategy ablation",
+        rows=rows,
+        notes=["The Eq. 18 score should be the best of the three."],
+    )
+
+
+def run_entropy_sign(num_positions: Optional[int] = None) -> ExperimentResult:
+    """Negentropy convention vs a flipped entropy weight."""
+    dataset = default_dataset(num_positions)
+    rows = []
+    for b, label in ((0.05, "b = +0.05 (paper, negentropy)"),
+                     (0.0, "b = 0 (entropy term off)"),
+                     (-0.05, "b = -0.05 (flipped sign)")):
+        localizer = _bloc_with_scoring(ScoringConfig(entropy_weight=b))
+        run = evaluate(localizer, dataset, label=f"b={b}")
+        rows.append(
+            ExperimentRow(
+                f"median, {label}", 100 * run.stats().median_m(), None
+            )
+        )
+    return ExperimentResult(
+        experiment_id="ablation-entropy-sign",
+        title="Entropy term sign convention",
+        rows=rows,
+        notes=[
+            "DESIGN.md: we read the paper's H as negentropy (peaky = "
+            "direct).  Flipping the sign should not improve accuracy.",
+        ],
+    )
+
+
+def run_score_weights(num_positions: Optional[int] = None) -> ExperimentResult:
+    """Sweep the Eq. 18 weights around the paper's (0.1, 0.05)."""
+    dataset = default_dataset(num_positions)
+    rows = []
+    for a in (0.0, 0.05, 0.1, 0.2, 0.4):
+        localizer = _bloc_with_scoring(ScoringConfig(distance_weight=a))
+        run = evaluate(localizer, dataset, label=f"a={a}")
+        rows.append(
+            ExperimentRow(
+                f"median, a = {a} (b = 0.05)",
+                100 * run.stats().median_m(),
+                None,
+            )
+        )
+    return ExperimentResult(
+        experiment_id="ablation-weights",
+        title="Eq. 18 weight sweep (distance weight a)",
+        rows=rows,
+        notes=["The paper's a = 0.1 should sit near the optimum."],
+    )
+
+
+def run_correction_off(num_positions: Optional[int] = None) -> ExperimentResult:
+    """BLoc with and without the Eq. 10 phase correction."""
+    dataset = default_dataset(num_positions)
+    with_correction = stats_of(
+        run_scheme("bloc", num_positions=num_positions)
+    )
+    uncorrected = UncorrectedBloc(
+        config=BlocConfig(grid_resolution_m=grid_resolution())
+    )
+    without = evaluate(uncorrected, dataset, label="no-correction").stats()
+    return ExperimentResult(
+        experiment_id="ablation-correction",
+        title="Eq. 10 phase-offset correction on/off",
+        rows=[
+            ExperimentRow(
+                "median, correction on", 100 * with_correction.median_m(), None
+            ),
+            ExperimentRow(
+                "median, correction off", 100 * without.median_m(), None
+            ),
+            ExperimentRow(
+                "degradation factor",
+                without.median_m() / with_correction.median_m(),
+                None,
+                units="x",
+            ),
+        ],
+        notes=[
+            "Without correction the cross-band phase is random, so the "
+            "error should collapse towards the AoA-only scale or worse.",
+        ],
+    )
+
+
+def run(num_positions: Optional[int] = None) -> ExperimentResult:
+    """All ablations merged."""
+    merged = ExperimentResult(
+        experiment_id="ablations",
+        title="Design-choice ablations",
+    )
+    for sub in (
+        run_selection_strategies(num_positions),
+        run_entropy_sign(num_positions),
+        run_score_weights(num_positions),
+        run_correction_off(num_positions),
+    ):
+        merged.rows.extend(sub.rows)
+        merged.notes.extend(sub.notes)
+    return merged

@@ -1,0 +1,124 @@
+"""Export figure data series as CSV for external plotting.
+
+The experiment runners print paper-vs-measured summary rows; this module
+exports the underlying *curves* -- the error CDFs of Fig. 9/12, the
+bandwidth sweep of Fig. 10, the spatial RMSE map of Fig. 13 -- as plain
+CSV files, so the figures can be redrawn with any plotting tool.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.experiments.common import (
+    default_testbed,
+    run_scheme,
+    stats_of,
+)
+from repro.sim.metrics import spatial_rmse_map
+
+
+def _write_rows(path: Path, header, rows) -> None:
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def export_cdf_csv(
+    output_dir: Union[str, Path],
+    num_positions: Optional[int] = None,
+) -> Dict[str, Path]:
+    """Fig. 9a / Fig. 12 CDF curves: error vs cumulative probability.
+
+    Returns a mapping of scheme name to the written CSV path.
+    """
+    output_dir = Path(output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    written = {}
+    for scheme in ("bloc", "aoa", "shortest"):
+        stats = stats_of(run_scheme(scheme, num_positions=num_positions))
+        errors, probabilities = stats.cdf()
+        path = output_dir / f"cdf_{scheme}.csv"
+        _write_rows(
+            path,
+            ["error_m", "cdf"],
+            zip(np.round(errors, 4), np.round(probabilities, 4)),
+        )
+        written[scheme] = path
+    return written
+
+
+def export_bandwidth_csv(
+    output_dir: Union[str, Path],
+    num_positions: Optional[int] = None,
+) -> Path:
+    """Fig. 10 series: bandwidth vs median error and std."""
+    output_dir = Path(output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    rows = []
+    for bandwidth_mhz, transform in (
+        (2, "bw2"), (20, "bw20"), (40, "bw40"), (80, "bw80"),
+    ):
+        stats = stats_of(
+            run_scheme("bloc", transform, num_positions=num_positions)
+        )
+        rows.append(
+            (
+                bandwidth_mhz,
+                round(stats.median_m(), 4),
+                round(float(np.std(stats.errors_m)), 4),
+            )
+        )
+    path = output_dir / "bandwidth_sweep.csv"
+    _write_rows(path, ["bandwidth_mhz", "median_error_m", "std_m"], rows)
+    return path
+
+
+def export_spatial_rmse_csv(
+    output_dir: Union[str, Path],
+    num_positions: Optional[int] = None,
+    bin_size_m: float = 1.0,
+) -> Path:
+    """Fig. 13 map: binned RMSE over the room (long format)."""
+    output_dir = Path(output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    run = run_scheme("bloc", num_positions=num_positions)
+    testbed = default_testbed()
+    x_edges, y_edges, rmse = spatial_rmse_map(
+        run.truths(),
+        run.errors(),
+        bounds=testbed.environment.bounds(),
+        bin_size_m=bin_size_m,
+    )
+    rows = []
+    for r in range(rmse.shape[0]):
+        for c in range(rmse.shape[1]):
+            value = rmse[r, c]
+            rows.append(
+                (
+                    round((x_edges[c] + x_edges[c + 1]) / 2, 3),
+                    round((y_edges[r] + y_edges[r + 1]) / 2, 3),
+                    "" if np.isnan(value) else round(float(value), 4),
+                )
+            )
+    path = output_dir / "spatial_rmse.csv"
+    _write_rows(path, ["x_m", "y_m", "rmse_m"], rows)
+    return path
+
+
+def export_all(
+    output_dir: Union[str, Path],
+    num_positions: Optional[int] = None,
+) -> Dict[str, Path]:
+    """Write every exportable series; returns name -> path."""
+    written = dict(export_cdf_csv(output_dir, num_positions))
+    written["bandwidth"] = export_bandwidth_csv(output_dir, num_positions)
+    written["spatial_rmse"] = export_spatial_rmse_csv(
+        output_dir, num_positions
+    )
+    return written

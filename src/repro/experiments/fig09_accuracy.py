@@ -1,0 +1,151 @@
+"""Fig. 9 reproduction: localization accuracy CDFs.
+
+* Fig. 9a -- BLoc vs the AoA-combining baseline (paper: 86 cm vs 242 cm
+  median; 170 cm vs 340 cm at the 90th percentile).
+* Fig. 9b -- effect of the number of anchors in {2, 3, 4}; the 3-anchor
+  numbers average over all master-containing subsets (Section 8.3).
+* Fig. 9c -- effect of the number of antennas in {3, 4} (Section 8.4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.common import (
+    PAPER,
+    ExperimentResult,
+    ExperimentRow,
+    run_scheme,
+    stats_of,
+)
+
+
+def run_accuracy(num_positions: Optional[int] = None) -> ExperimentResult:
+    """Fig. 9a: BLoc vs AoA baseline over the shared dataset."""
+    bloc = stats_of(run_scheme("bloc", num_positions=num_positions))
+    aoa = stats_of(run_scheme("aoa", num_positions=num_positions))
+    return ExperimentResult(
+        experiment_id="fig9a",
+        title="Localization accuracy: BLoc vs AoA-combining baseline",
+        rows=[
+            ExperimentRow(
+                "BLoc median", 100 * bloc.median_m(), PAPER["bloc_median"]
+            ),
+            ExperimentRow(
+                "BLoc 90th percentile",
+                100 * bloc.percentile_m(90),
+                PAPER["bloc_p90"],
+            ),
+            ExperimentRow(
+                "AoA median", 100 * aoa.median_m(), PAPER["aoa_median"]
+            ),
+            ExperimentRow(
+                "AoA 90th percentile",
+                100 * aoa.percentile_m(90),
+                PAPER["aoa_p90"],
+            ),
+            ExperimentRow(
+                "median improvement factor (AoA / BLoc)",
+                aoa.median_m() / bloc.median_m(),
+                242.0 / 86.0,
+                units="x",
+            ),
+        ],
+    )
+
+
+def run_anchor_sweep(num_positions: Optional[int] = None) -> ExperimentResult:
+    """Fig. 9b: accuracy with 2, 3 and 4 anchors for both schemes."""
+    rows = []
+    paper_medians = {
+        ("bloc", 4): PAPER["bloc_median"],
+        ("bloc", 3): PAPER["bloc3_median"],
+        ("aoa", 4): PAPER["aoa_median"],
+        ("aoa", 3): PAPER["aoa3_median"],
+    }
+    for scheme in ("bloc", "aoa"):
+        for anchors in (4, 3, 2):
+            run = run_scheme(
+                scheme,
+                anchor_subset_size=anchors if anchors < 4 else None,
+                num_positions=num_positions,
+            )
+            stats = stats_of(run)
+            rows.append(
+                ExperimentRow(
+                    f"{scheme} median, {anchors} anchors",
+                    100 * stats.median_m(),
+                    paper_medians.get((scheme, anchors)),
+                )
+            )
+    return ExperimentResult(
+        experiment_id="fig9b",
+        title="Effect of the number of anchor points",
+        rows=rows,
+        notes=[
+            "Paper: 4->3 anchors degrades mildly for BLoc (86 -> 91.5 cm) "
+            "and 2 anchors degrades significantly for both schemes.",
+            "KNOWN DIVERGENCE: our simulated 4->3 anchor drop is steeper "
+            "than the paper's. The triple-product likelihood in our "
+            "simulated room produces cross-term ghost ridges that three "
+            "anchors cannot always out-vote (they persist even with "
+            "noise-free channels); the ordering 4 < 3 < 2 and '3-anchor "
+            "BLoc still beats 4-anchor AoA' both hold.",
+        ],
+    )
+
+
+def run_antenna_sweep(num_positions: Optional[int] = None) -> ExperimentResult:
+    """Fig. 9c: accuracy with 3 vs 4 antennas per anchor."""
+    rows = []
+    paper_values = {
+        ("bloc", 4): (PAPER["bloc_median"], PAPER["bloc_p90"]),
+        ("bloc", 3): (PAPER["bloc_3ant_median"], PAPER["bloc_3ant_p90"]),
+        ("aoa", 4): (PAPER["aoa_median"], PAPER["aoa_p90"]),
+        ("aoa", 3): (PAPER["aoa_3ant_median"], PAPER["aoa_3ant_p90"]),
+    }
+    for scheme in ("bloc", "aoa"):
+        for antennas, transform in ((4, "full"), (3, "ant3")):
+            stats = stats_of(
+                run_scheme(scheme, transform, num_positions=num_positions)
+            )
+            paper_median, paper_p90 = paper_values[(scheme, antennas)]
+            rows.append(
+                ExperimentRow(
+                    f"{scheme} median, {antennas} antennas",
+                    100 * stats.median_m(),
+                    paper_median,
+                )
+            )
+            rows.append(
+                ExperimentRow(
+                    f"{scheme} p90, {antennas} antennas",
+                    100 * stats.percentile_m(90),
+                    paper_p90,
+                )
+            )
+    return ExperimentResult(
+        experiment_id="fig9c",
+        title="Effect of the number of antennas",
+        rows=rows,
+        notes=[
+            "Paper: dropping 4 -> 3 antennas has minimal effect on BLoc "
+            "because bandwidth compensates for array resolution.",
+        ],
+    )
+
+
+def run(num_positions: Optional[int] = None) -> ExperimentResult:
+    """All Fig. 9 panels merged."""
+    merged = ExperimentResult(
+        experiment_id="fig9",
+        title="Localization accuracy (Fig. 9a/9b/9c)",
+    )
+    for sub in (
+        run_accuracy(num_positions),
+        run_anchor_sweep(num_positions),
+        run_antenna_sweep(num_positions),
+    ):
+        merged.rows.extend(sub.rows)
+        merged.notes.extend(sub.notes)
+    return merged

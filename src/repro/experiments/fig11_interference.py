@@ -1,0 +1,69 @@
+"""Fig. 11 reproduction: interference avoidance by channel subsampling.
+
+BLE blacklists channels that collide with Wi-Fi; Section 8.6 shows that
+*subsampling* the 40 channels by 2x or 4x -- keeping the full 80 MHz span
+but leaving gaps -- has almost no effect on accuracy, because gaps only
+introduce aliasing at distances beyond indoor scales (c / gap >= 15 m for
+gaps up to one Wi-Fi channel).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.steering import aliasing_distance_m
+from repro.experiments.common import (
+    PAPER,
+    ExperimentResult,
+    ExperimentRow,
+    run_scheme,
+    stats_of,
+)
+
+#: The sweep: (label, transform key, approximate band count with 37 data
+#: channels).
+SWEEP = (
+    ("all 37 subbands", "full", 37),
+    ("every 2nd subband (19)", "sub2", 19),
+    ("every 4th subband (10)", "sub4", 10),
+)
+
+
+def run(num_positions: Optional[int] = None) -> ExperimentResult:
+    """Reproduce the channel-subsampling experiment."""
+    rows = []
+    medians = []
+    for label, transform, bands in SWEEP:
+        stats = stats_of(
+            run_scheme("bloc", transform, num_positions=num_positions)
+        )
+        medians.append(stats.median_m())
+        paper = PAPER["bloc_median"] if transform == "full" else None
+        rows.append(
+            ExperimentRow(f"BLoc median, {label}", 100 * stats.median_m(), paper)
+        )
+    rows.append(
+        ExperimentRow(
+            "median ratio x4-subsampled / full",
+            medians[-1] / medians[0],
+            1.0,  # paper: "almost no effect"
+            units="x",
+        )
+    )
+    rows.append(
+        ExperimentRow(
+            "aliasing distance for 8 MHz gaps",
+            aliasing_distance_m(8e6),
+            37.5,  # c / 8 MHz
+            units="m",
+        )
+    )
+    return ExperimentResult(
+        experiment_id="fig11",
+        title="Interference avoidance: subsampled channels over 80 MHz",
+        rows=rows,
+        notes=[
+            "Required shape: subsampling by 2x / 4x leaves the median "
+            "nearly unchanged (any change is SNR loss, not aliasing).",
+        ],
+    )

@@ -1,0 +1,272 @@
+"""Image-method ray tracer: enumerate propagation paths in an environment.
+
+For every transmitter/receiver pair the tracer produces:
+
+* the direct path (attenuated by any opaque faces it crosses),
+* one specular reflection per visible face (walls + interior reflectors),
+  via the classic mirror-image construction,
+* optionally second-order wall-wall reflections,
+* a deterministic *scatter cluster* around each specular bounce point,
+  modelling the paper's non-ideal reflectors: the cluster's sub-paths have
+  slightly different lengths, so across frequency and antennas the
+  reflected energy decorrelates and spreads out in the likelihood map --
+  the physical basis of BLoc's spatial-entropy multipath test (Section 5.4).
+
+Everything is deterministic given the geometry: no random draws here, so a
+tag at the same spot always sees the same multipath (like a real room).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rf.environment import Environment, Reflector
+from repro.rf.paths import PathKind, PropagationPath
+from repro.utils.geometry2d import (
+    Point,
+    Segment,
+    mirror_point,
+    segment_intersection,
+)
+
+#: Normalised scatter-cluster offsets (units of the material's spread) and
+#: their Gaussian weights; chosen symmetric so the cluster centroid stays at
+#: the specular point.
+_SCATTER_OFFSETS = np.array([-1.6, -0.9, -0.35, 0.35, 0.9, 1.6])
+_SCATTER_WEIGHTS = np.exp(-0.5 * _SCATTER_OFFSETS**2)
+
+
+@dataclass(frozen=True)
+class ImagingConfig:
+    """Ray-tracing knobs.
+
+    Attributes:
+        max_order: highest reflection order to trace (1 or 2).
+        include_scatter: whether to expand scatter clusters.
+        min_gain: paths weaker than this amplitude are dropped.
+        reference_gain: free-space amplitude at 1 m (the paper's ``A``).
+    """
+
+    max_order: int = 1
+    include_scatter: bool = True
+    min_gain: float = 1e-4
+    reference_gain: float = 1.0
+
+    def __post_init__(self):
+        if self.max_order not in (1, 2):
+            raise ConfigurationError("max_order must be 1 or 2")
+        if self.min_gain < 0:
+            raise ConfigurationError("min_gain must be >= 0")
+
+
+def _on_face_line(p: Point, face: Segment, tolerance: float = 1e-6) -> bool:
+    """Whether ``p`` lies (numerically) on the infinite line of the face."""
+    d = face.direction()
+    offset = (p - face.a) - d * (p - face.a).dot(d)
+    return offset.norm() < tolerance
+
+
+def _leg_transmission(
+    env: Environment,
+    a: Point,
+    b: Point,
+    bouncing: Sequence[Reflector],
+) -> float:
+    """Obstruction factor of one leg, ignoring the faces being bounced."""
+    return env.transmission_along(a, b, ignore=bouncing)
+
+
+def trace_paths(
+    env: Environment,
+    tx: Point,
+    rx: Point,
+    config: Optional[ImagingConfig] = None,
+) -> List[PropagationPath]:
+    """All propagation paths from ``tx`` to ``rx`` in ``env``.
+
+    Returns at least the direct path (possibly heavily attenuated); the
+    list is ordered with the direct path first, then reflections in face
+    order.
+    """
+    cfg = config or ImagingConfig()
+    paths: List[PropagationPath] = []
+
+    direct_length = max((rx - tx).norm(), 1e-6)
+    direct_gain = (
+        cfg.reference_gain
+        / direct_length
+        * env.transmission_along(tx, rx)
+    )
+    paths.append(
+        PropagationPath(
+            length_m=direct_length,
+            gain=complex(direct_gain),
+            kind=PathKind.DIRECT,
+        )
+    )
+
+    faces = env.all_faces()
+    for face in faces:
+        paths.extend(_first_order_paths(env, tx, rx, face, cfg))
+
+    if cfg.max_order >= 2:
+        walls = env.walls
+        for first in walls:
+            for second in walls:
+                if first is second:
+                    continue
+                path = _second_order_path(env, tx, rx, first, second, cfg)
+                if path is not None:
+                    paths.append(path)
+
+    return [p for p in paths if abs(p.gain) >= cfg.min_gain]
+
+
+def _first_order_paths(
+    env: Environment,
+    tx: Point,
+    rx: Point,
+    face: Reflector,
+    cfg: ImagingConfig,
+) -> List[PropagationPath]:
+    segment = face.segment
+    if _on_face_line(tx, segment) or _on_face_line(rx, segment):
+        return []
+    image = mirror_point(tx, segment)
+    if (image - rx).norm() < 1e-9:
+        # rx sits exactly at tx's mirror image: the "reflection" would be
+        # the normal-incidence ray straight through the face -- degenerate.
+        return []
+    bounce = segment_intersection(Segment(image, rx), segment)
+    if bounce is None:
+        return []
+    out: List[PropagationPath] = []
+    ignore = [face]
+    base_transmission = _leg_transmission(
+        env, tx, bounce, ignore
+    ) * _leg_transmission(env, bounce, rx, ignore)
+    specular_length = (bounce - tx).norm() + (rx - bounce).norm()
+    specular_gain = (
+        cfg.reference_gain
+        / max(specular_length, 1e-6)
+        * face.material.specular_amplitude
+        * base_transmission
+    )
+    if abs(specular_gain) >= cfg.min_gain:
+        out.append(
+            PropagationPath(
+                length_m=specular_length,
+                gain=complex(specular_gain),
+                kind=PathKind.SPECULAR,
+                bounce_point=bounce,
+                reflector_name=face.name,
+            )
+        )
+    if cfg.include_scatter and face.material.scattered_amplitude > 0:
+        out.extend(
+            _scatter_cluster(env, tx, rx, face, bounce, base_transmission, cfg)
+        )
+    return out
+
+
+def _scatter_cluster(
+    env: Environment,
+    tx: Point,
+    rx: Point,
+    face: Reflector,
+    specular_point: Point,
+    base_transmission: float,
+    cfg: ImagingConfig,
+) -> List[PropagationPath]:
+    """Deterministic diffuse sub-paths spread along the face."""
+    segment = face.segment
+    spread = face.material.scattering_spread_m
+    direction = segment.direction()
+    t_specular = segment.project_parameter(specular_point)
+    length = segment.length()
+    cluster: List[PropagationPath] = []
+    # Amplitude budget: total scattered power equals the power a specular
+    # bounce with coefficient `scattered_amplitude` would carry.
+    weights = _SCATTER_WEIGHTS / np.sqrt(np.sum(_SCATTER_WEIGHTS**2))
+    for offset, weight in zip(_SCATTER_OFFSETS, weights):
+        t = t_specular + offset * spread / max(length, 1e-9)
+        if not 0.0 < t < 1.0:
+            continue
+        point = segment.point_at(t)
+        path_length = (point - tx).norm() + (rx - point).norm()
+        gain = (
+            cfg.reference_gain
+            / max(path_length, 1e-6)
+            * face.material.scattered_amplitude
+            * weight
+            * base_transmission
+        )
+        if abs(gain) < cfg.min_gain:
+            continue
+        cluster.append(
+            PropagationPath(
+                length_m=path_length,
+                gain=complex(gain),
+                kind=PathKind.SCATTER,
+                bounce_point=point,
+                reflector_name=face.name,
+            )
+        )
+    return cluster
+
+
+def _second_order_path(
+    env: Environment,
+    tx: Point,
+    rx: Point,
+    first: Reflector,
+    second: Reflector,
+    cfg: ImagingConfig,
+) -> Optional[PropagationPath]:
+    """Wall-wall double bounce via double mirror images."""
+    s1, s2 = first.segment, second.segment
+    if _on_face_line(tx, s1) or _on_face_line(rx, s2):
+        return None
+    image1 = mirror_point(tx, s1)
+    image2 = mirror_point(image1, s2)
+    if (image2 - rx).norm() < 1e-9:
+        return None
+    bounce2 = segment_intersection(Segment(image2, rx), s2)
+    if bounce2 is None:
+        return None
+    if (image1 - bounce2).norm() < 1e-9:
+        return None
+    bounce1 = segment_intersection(Segment(image1, bounce2), s1)
+    if bounce1 is None:
+        return None
+    length = (
+        (bounce1 - tx).norm()
+        + (bounce2 - bounce1).norm()
+        + (rx - bounce2).norm()
+    )
+    ignore = [first, second]
+    transmission = (
+        _leg_transmission(env, tx, bounce1, ignore)
+        * _leg_transmission(env, bounce1, bounce2, ignore)
+        * _leg_transmission(env, bounce2, rx, ignore)
+    )
+    gain = (
+        cfg.reference_gain
+        / max(length, 1e-6)
+        * first.material.specular_amplitude
+        * second.material.specular_amplitude
+        * transmission
+    )
+    if abs(gain) < cfg.min_gain:
+        return None
+    return PropagationPath(
+        length_m=length,
+        gain=complex(gain),
+        kind=PathKind.SPECULAR,
+        bounce_point=bounce1,
+        reflector_name=f"{first.name}+{second.name}",
+    )

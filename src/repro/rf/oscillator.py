@@ -1,0 +1,77 @@
+"""Local-oscillator model: the random phase offsets BLoc must defeat.
+
+Every BLE device synthesises its carrier with a PLL-based local oscillator.
+Retuning to a new channel re-locks the PLL at an arbitrary phase, so each
+hop gives the device a fresh uniform phase offset (paper Section 5.1).
+Crucially (footnote 3), all antennas of one anchor share one oscillator, so
+the offset is per *device* per *retune*, not per antenna -- the property
+that keeps angle-of-arrival usable and makes Eq. 10's cancellation work.
+
+The model optionally adds slow phase drift within a dwell, bounding how
+"simultaneous" the two packets of one connection event must be.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import RngLike, make_rng
+
+
+@dataclass
+class Oscillator:
+    """Carrier phase state of one device.
+
+    Attributes:
+        name: device label (for debugging).
+        drift_std_rad_per_s: standard deviation of the phase random walk
+            while dwelling on one channel (0 = ideal dwell).
+        frequency_offset_hz: constant carrier frequency offset of this
+            device (crystal ppm error); informational for IQ simulations.
+    """
+
+    name: str = ""
+    drift_std_rad_per_s: float = 0.0
+    frequency_offset_hz: float = 0.0
+    rng: RngLike = None
+    _phase: float = field(init=False, default=0.0)
+    _generator: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self):
+        if self.drift_std_rad_per_s < 0:
+            raise ConfigurationError("drift std must be >= 0")
+        self._generator = make_rng(self.rng)
+        self.retune()
+
+    def retune(self) -> float:
+        """Lock onto a (new) channel: draw a fresh uniform phase offset."""
+        self._phase = float(
+            self._generator.uniform(-np.pi, np.pi)
+        )
+        return self._phase
+
+    def phase_offset(self, elapsed_s: float = 0.0) -> float:
+        """Current phase offset, ``elapsed_s`` after the last retune.
+
+        Drift is modelled as a Brownian increment; querying twice with the
+        same ``elapsed_s`` inside one dwell returns different draws, so
+        callers sample once per packet.
+        """
+        if elapsed_s < 0:
+            raise ConfigurationError("elapsed time must be >= 0")
+        phase = self._phase
+        if self.drift_std_rad_per_s > 0 and elapsed_s > 0:
+            phase += float(
+                self._generator.normal(
+                    0.0, self.drift_std_rad_per_s * np.sqrt(elapsed_s)
+                )
+            )
+        return phase
+
+    def phasor(self, elapsed_s: float = 0.0) -> complex:
+        """``e^{j phase_offset}`` for multiplying onto a channel."""
+        return complex(np.exp(1j * self.phase_offset(elapsed_s)))

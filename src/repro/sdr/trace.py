@@ -1,0 +1,75 @@
+"""Trace persistence: save and load IQ captures as ``.npz`` archives.
+
+The paper's pipeline records USRP samples to a central server for offline
+processing; this module is that storage layer, so measurement campaigns
+can be captured once and replayed through different localizer configs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+import numpy as np
+
+from repro.errors import MeasurementError
+from repro.sdr.iq import IqCapture
+
+_FORMAT_VERSION = 1
+
+
+def save_captures(
+    path: Union[str, Path], captures: List[IqCapture]
+) -> None:
+    """Write a list of captures to one ``.npz`` archive."""
+    path = Path(path)
+    arrays: Dict[str, np.ndarray] = {}
+    meta = {"format_version": _FORMAT_VERSION, "captures": []}
+    for k, capture in enumerate(captures):
+        arrays[f"samples_{k}"] = capture.samples
+        meta["captures"].append(
+            {
+                "sample_rate": capture.sample_rate,
+                "channel_index": capture.channel_index,
+                "carrier_frequency_hz": capture.carrier_frequency_hz,
+                "source": capture.source,
+                "start_sample_offset": capture.start_sample_offset,
+            }
+        )
+    arrays["meta_json"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+
+
+def load_captures(path: Union[str, Path]) -> List[IqCapture]:
+    """Load captures previously written by :func:`save_captures`.
+
+    Raises:
+        MeasurementError: for missing or incompatible archives.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise MeasurementError(f"trace file not found: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        if "meta_json" not in archive:
+            raise MeasurementError(f"{path} is not a capture archive")
+        meta = json.loads(bytes(archive["meta_json"].tobytes()).decode("utf-8"))
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise MeasurementError(
+                f"unsupported trace format {meta.get('format_version')!r}"
+            )
+        captures = []
+        for k, entry in enumerate(meta["captures"]):
+            captures.append(
+                IqCapture(
+                    samples=archive[f"samples_{k}"],
+                    sample_rate=entry["sample_rate"],
+                    channel_index=entry["channel_index"],
+                    carrier_frequency_hz=entry["carrier_frequency_hz"],
+                    source=entry["source"],
+                    start_sample_offset=entry["start_sample_offset"],
+                )
+            )
+    return captures

@@ -1,0 +1,147 @@
+"""Localization-error metrics: CDFs, percentiles, spatial error maps.
+
+Everything Section 8 reports is computed here: median and 90th-percentile
+errors, full CDFs (Fig. 9a/9b/9c, Fig. 12), and the spatially binned RMSE
+map of Fig. 13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.geometry2d import Point
+
+
+@dataclass
+class ErrorStats:
+    """Summary statistics of a localization-error sample.
+
+    Attributes:
+        errors_m: the raw per-fix errors.
+    """
+
+    errors_m: np.ndarray
+
+    def __post_init__(self):
+        self.errors_m = np.sort(np.asarray(self.errors_m, dtype=float))
+        if self.errors_m.size == 0:
+            raise ConfigurationError("no errors to summarise")
+        if np.any(self.errors_m < 0):
+            raise ConfigurationError("errors must be non-negative")
+
+    @property
+    def count(self) -> int:
+        """Number of fixes."""
+        return int(self.errors_m.size)
+
+    def median_m(self) -> float:
+        """Median error [m]."""
+        return float(np.median(self.errors_m))
+
+    def percentile_m(self, q: float) -> float:
+        """q-th percentile error [m] (q in [0, 100])."""
+        return float(np.percentile(self.errors_m, q))
+
+    def mean_m(self) -> float:
+        """Mean error [m]."""
+        return float(np.mean(self.errors_m))
+
+    def rmse_m(self) -> float:
+        """Root-mean-square error [m]."""
+        return float(np.sqrt(np.mean(self.errors_m**2)))
+
+    def cdf(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Empirical CDF as ``(errors, cumulative probability)``."""
+        n = self.errors_m.size
+        return self.errors_m, np.arange(1, n + 1) / n
+
+    def fraction_below(self, threshold_m: float) -> float:
+        """Fraction of fixes with error below a threshold."""
+        return float(np.mean(self.errors_m < threshold_m))
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"n={self.count} median={self.median_m() * 100:.0f}cm "
+            f"p90={self.percentile_m(90) * 100:.0f}cm "
+            f"mean={self.mean_m() * 100:.0f}cm"
+        )
+
+
+def errors_from_fixes(
+    estimates: Sequence[Point], truths: Sequence[Point]
+) -> ErrorStats:
+    """Per-fix Euclidean errors from paired estimate/truth positions."""
+    if len(estimates) != len(truths):
+        raise ConfigurationError("estimate/truth counts differ")
+    errors = [
+        (estimate - truth).norm()
+        for estimate, truth in zip(estimates, truths)
+    ]
+    return ErrorStats(np.array(errors))
+
+
+def spatial_rmse_map(
+    truths: Sequence[Point],
+    errors_m: Sequence[float],
+    bounds: Tuple[float, float, float, float],
+    bin_size_m: float = 0.5,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Spatially binned RMSE (Fig. 13).
+
+    Args:
+        truths: true tag positions.
+        errors_m: matching localization errors.
+        bounds: ``(x_min, x_max, y_min, y_max)`` of the map.
+        bin_size_m: bin side.
+
+    Returns:
+        ``(x_edges, y_edges, rmse)`` where rmse has shape
+        ``(len(y_edges) - 1, len(x_edges) - 1)`` and NaN in empty bins.
+    """
+    if len(truths) != len(errors_m):
+        raise ConfigurationError("truth/error counts differ")
+    if bin_size_m <= 0:
+        raise ConfigurationError("bin size must be > 0")
+    x_min, x_max, y_min, y_max = bounds
+    x_edges = np.arange(x_min, x_max + bin_size_m, bin_size_m)
+    y_edges = np.arange(y_min, y_max + bin_size_m, bin_size_m)
+    sums = np.zeros((y_edges.size - 1, x_edges.size - 1))
+    counts = np.zeros_like(sums)
+    for point, error in zip(truths, errors_m):
+        col = int(np.clip((point.x - x_min) // bin_size_m, 0, sums.shape[1] - 1))
+        row = int(np.clip((point.y - y_min) // bin_size_m, 0, sums.shape[0] - 1))
+        sums[row, col] += float(error) ** 2
+        counts[row, col] += 1
+    with np.errstate(invalid="ignore", divide="ignore"):
+        rmse = np.sqrt(sums / counts)
+    rmse[counts == 0] = np.nan
+    return x_edges, y_edges, rmse
+
+
+def cdf_table(
+    stats: ErrorStats, thresholds_m: Sequence[float]
+) -> List[Tuple[float, float]]:
+    """``(threshold, fraction below)`` rows for printing CDF curves."""
+    return [(t, stats.fraction_below(t)) for t in thresholds_m]
+
+
+def format_comparison_row(
+    label: str,
+    paper_median_cm: Optional[float],
+    stats: ErrorStats,
+    paper_p90_cm: Optional[float] = None,
+) -> str:
+    """A paper-vs-measured row used by every benchmark's report."""
+    parts = [f"{label:<34}"]
+    if paper_median_cm is not None:
+        parts.append(f"paper median={paper_median_cm:6.0f}cm")
+    parts.append(f"measured median={stats.median_m() * 100:6.1f}cm")
+    if paper_p90_cm is not None:
+        parts.append(f"paper p90={paper_p90_cm:6.0f}cm")
+    parts.append(f"measured p90={stats.percentile_m(90) * 100:6.1f}cm")
+    return "  ".join(parts)

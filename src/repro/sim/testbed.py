@@ -1,0 +1,166 @@
+"""Testbeds: an environment plus a deployed anchor ring.
+
+The default testbed mirrors the paper's Section 7 setup: a 5 m x 6 m room
+(we use the paper's plot coordinates, x in [-3, 3] and y in [-2, 3]),
+anchors at the centre of each edge facing inwards, and clutter -- "robotic
+equipment, large metal cupboards" -- that makes the room multipath-rich and
+creates NLOS pockets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.constants import (
+    BLOC_DEFAULT_NUM_ANTENNAS,
+    BLOC_ROOM_HEIGHT_M,
+    BLOC_ROOM_WIDTH_M,
+)
+from repro.errors import ConfigurationError
+from repro.rf.antenna import Anchor, default_anchor_ring
+from repro.rf.channel_model import ChannelSimulator
+from repro.rf.environment import Environment
+from repro.rf.imaging import ImagingConfig
+from repro.rf.materials import ABSORBER, GLASS, METAL
+from repro.utils.geometry2d import Point
+from repro.utils.rng import RngLike, derive_rng
+
+
+@dataclass
+class Testbed:
+    """A deployable evaluation setup.
+
+    Attributes:
+        environment: the room and clutter.
+        anchors: deployed anchor points.
+        master_index: which anchor acts as the BLE master.
+        channel_simulator: shared propagation model over the environment.
+    """
+
+    environment: Environment
+    anchors: List[Anchor]
+    master_index: int = 0
+    channel_simulator: ChannelSimulator = field(init=False, repr=False)
+    imaging: ImagingConfig = field(default_factory=ImagingConfig)
+
+    def __post_init__(self):
+        if not self.anchors:
+            raise ConfigurationError("a testbed needs at least one anchor")
+        if not 0 <= self.master_index < len(self.anchors):
+            raise ConfigurationError("master index out of range")
+        self.channel_simulator = ChannelSimulator(
+            self.environment, imaging=self.imaging
+        )
+
+    @property
+    def master(self) -> Anchor:
+        """The master anchor."""
+        return self.anchors[self.master_index]
+
+    def tag_area_bounds(self, margin: float = 0.35):
+        """Rectangle tags may occupy: the room minus a wall margin."""
+        x_min, x_max, y_min, y_max = self.environment.bounds()
+        return (x_min + margin, x_max - margin, y_min + margin, y_max - margin)
+
+    def with_antennas(self, num_antennas: int) -> "Testbed":
+        """Same testbed with every anchor truncated to fewer antennas."""
+        return Testbed(
+            environment=self.environment,
+            anchors=[a.truncated(num_antennas) for a in self.anchors],
+            master_index=self.master_index,
+            imaging=self.imaging,
+        )
+
+
+def vicon_testbed(
+    num_antennas: int = BLOC_DEFAULT_NUM_ANTENNAS,
+    clutter_seed: RngLike = 7,
+    num_extra_clutter: int = 2,
+) -> Testbed:
+    """The paper's VICON-room testbed (Fig. 7c), with multipath clutter.
+
+    The fixed clutter models the shared lab space: a large metal cupboard
+    near the north-east area, robotic equipment (metal) in the south-west,
+    a glass screen panel, and an absorbing divider.  ``num_extra_clutter``
+    additional small metal faces are placed pseudo-randomly from
+    ``clutter_seed`` to de-idealise the geometry.
+
+    Anchors: AP1 south, AP2 east, AP3 north, AP4 west; AP1 is the master.
+    """
+    env = Environment(
+        width=BLOC_ROOM_WIDTH_M,
+        height=BLOC_ROOM_HEIGHT_M,
+        origin=Point(-3.0, -2.0),
+    )
+    # The paper's clutter (robot equipment, metal cupboards) surrounds the
+    # VICON capture volume: it sits near the walls, so the room is rich in
+    # multipath while the tag area itself keeps line of sight most of the
+    # time.  Faces are placed just outside the tag margin.
+    env.add_reflector(
+        Point(2.72, 0.6), Point(2.72, 2.2), METAL, name="cupboard"
+    )
+    env.add_reflector(
+        Point(-2.4, -1.72), Point(-1.3, -1.72), METAL, name="robot-a"
+    )
+    env.add_reflector(
+        Point(-2.72, -1.2), Point(-2.72, -0.3), METAL, name="robot-b"
+    )
+    env.add_reflector(
+        Point(-0.8, 2.72), Point(0.6, 2.72), GLASS, name="screen"
+    )
+    env.add_reflector(
+        Point(0.9, -1.74), Point(1.7, -1.74), ABSORBER, name="divider"
+    )
+    # One interior obstruction: a narrow equipment rack that occasionally
+    # blocks a tag-anchor pair (the paper's room is shared lab space).
+    env.add_reflector(
+        Point(1.55, 0.15), Point(1.9, 0.4), METAL, name="rack"
+    )
+    rng = derive_rng(clutter_seed, "testbed-clutter")
+    x_min, x_max, y_min, y_max = env.bounds()
+    perimeter = [
+        ("south", lambda u: Point(x_min + 0.8 + u * (x_max - x_min - 1.6), y_min + 0.28), Point(1.0, 0.0)),
+        ("east", lambda u: Point(x_max - 0.28, y_min + 0.8 + u * (y_max - y_min - 1.6)), Point(0.0, 1.0)),
+        ("north", lambda u: Point(x_min + 0.8 + u * (x_max - x_min - 1.6), y_max - 0.28), Point(1.0, 0.0)),
+        ("west", lambda u: Point(x_min + 0.28, y_min + 0.8 + u * (y_max - y_min - 1.6)), Point(0.0, 1.0)),
+    ]
+    for k in range(num_extra_clutter):
+        side_name, side, direction = perimeter[k % 4]
+        centre = side(float(rng.uniform(0.1, 0.9)))
+        half = float(rng.uniform(0.15, 0.3))
+        # Cabinets and racks stand parallel to their wall, so the extra
+        # clutter never intrudes into the tag area.
+        env.add_reflector(
+            Point(centre.x - direction.x * half, centre.y - direction.y * half),
+            Point(centre.x + direction.x * half, centre.y + direction.y * half),
+            METAL,
+            name=f"clutter-{side_name}-{k}",
+        )
+    anchors = default_anchor_ring(
+        room_width=BLOC_ROOM_WIDTH_M,
+        room_height=BLOC_ROOM_HEIGHT_M,
+        origin=Point(-3.0, -2.0),
+        num_antennas=num_antennas,
+    )
+    return Testbed(environment=env, anchors=anchors, master_index=0)
+
+
+def open_room_testbed(
+    num_antennas: int = BLOC_DEFAULT_NUM_ANTENNAS,
+) -> Testbed:
+    """A clutter-free room: the near-LOS setting of the microbenchmarks
+    (Fig. 8b places "the target and two APs in line of sight in a
+    relatively multipath free environment")."""
+    env = Environment(
+        width=BLOC_ROOM_WIDTH_M,
+        height=BLOC_ROOM_HEIGHT_M,
+        origin=Point(-3.0, -2.0),
+    )
+    anchors = default_anchor_ring(
+        room_width=BLOC_ROOM_WIDTH_M,
+        room_height=BLOC_ROOM_HEIGHT_M,
+        origin=Point(-3.0, -2.0),
+        num_antennas=num_antennas,
+    )
+    return Testbed(environment=env, anchors=anchors, master_index=0)

@@ -1,0 +1,54 @@
+"""Shared utilities: geometry, complex math, grids, RNG and validation."""
+
+from repro.utils.complexutils import (
+    circular_mean,
+    db,
+    mag2db,
+    normalize_peak,
+    phase_deg,
+    unwrap_phase,
+    wrap_phase,
+)
+from repro.utils.geometry2d import (
+    Point,
+    Segment,
+    distance,
+    distance_matrix,
+    mirror_point,
+    pairwise_distances,
+    reflect_across_segment,
+    segment_intersection,
+)
+from repro.utils.gridmap import Grid2D
+from repro.utils.rng import derive_rng, make_rng
+from repro.utils.validation import (
+    check_finite,
+    check_in_range,
+    check_positive,
+    check_shape,
+)
+
+__all__ = [
+    "Point",
+    "Segment",
+    "Grid2D",
+    "circular_mean",
+    "check_finite",
+    "check_in_range",
+    "check_positive",
+    "check_shape",
+    "db",
+    "derive_rng",
+    "distance",
+    "distance_matrix",
+    "mag2db",
+    "make_rng",
+    "mirror_point",
+    "normalize_peak",
+    "pairwise_distances",
+    "phase_deg",
+    "reflect_across_segment",
+    "segment_intersection",
+    "unwrap_phase",
+    "wrap_phase",
+]

@@ -1,0 +1,71 @@
+"""Small argument-validation helpers with consistent error messages.
+
+Constructors across the library use these to fail fast on bad inputs with a
+:class:`~repro.errors.ConfigurationError` instead of producing NaNs deep in
+the pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def check_positive(name: str, value) -> float:
+    """Require a strictly positive finite scalar; return it as float."""
+    value = float(value)
+    if not np.isfinite(value) or value <= 0.0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value) -> float:
+    """Require a finite scalar >= 0; return it as float."""
+    value = float(value)
+    if not np.isfinite(value) or value < 0.0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_in_range(name: str, value, low, high) -> float:
+    """Require ``low <= value <= high``; return it as float."""
+    value = float(value)
+    if not (low <= value <= high):
+        raise ConfigurationError(
+            f"{name} must be in [{low}, {high}], got {value!r}"
+        )
+    return value
+
+
+def check_index(name: str, value, size: int) -> int:
+    """Require an integer index in ``[0, size)``; return it as int."""
+    index = int(value)
+    if index != value or not 0 <= index < size:
+        raise ConfigurationError(
+            f"{name} must be an integer in [0, {size}), got {value!r}"
+        )
+    return index
+
+
+def check_finite(name: str, array) -> np.ndarray:
+    """Require every element to be finite; return the input as an ndarray."""
+    arr = np.asarray(array)
+    if not np.all(np.isfinite(arr)):
+        raise ConfigurationError(f"{name} contains non-finite values")
+    return arr
+
+
+def check_shape(name: str, array, shape: Sequence) -> np.ndarray:
+    """Require an exact shape, with ``None`` as a wildcard dimension."""
+    arr = np.asarray(array)
+    if len(arr.shape) != len(shape) or any(
+        expected is not None and actual != expected
+        for actual, expected in zip(arr.shape, shape)
+    ):
+        raise ConfigurationError(
+            f"{name} must have shape {tuple(shape)}, got {arr.shape}"
+        )
+    return arr

@@ -1,0 +1,97 @@
+"""Terminal visualisation: ASCII renderings of likelihood maps and rooms.
+
+The paper's figures plot likelihood heat maps over the room (Fig. 6,
+Fig. 8c); this module renders the same maps in a terminal so the examples
+and debugging sessions can *see* the multipath peaks without a plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.complexutils import normalize_peak
+from repro.utils.geometry2d import Point
+from repro.utils.gridmap import Grid2D
+
+#: Luminance ramp from empty to peak.
+_RAMP = " .:-=+*#%@"
+
+
+def render_map(
+    values: np.ndarray,
+    grid: Grid2D,
+    width: int = 64,
+    markers: Optional[Sequence] = None,
+) -> str:
+    """Render a 2-D likelihood map as ASCII art.
+
+    Args:
+        values: map of shape ``grid.shape``.
+        grid: the map's grid.
+        width: output width in characters (height follows the aspect
+            ratio, halved because terminal cells are ~2x taller than
+            wide).
+        markers: optional ``(point, character)`` pairs drawn on top
+            (e.g. the true and estimated positions).
+
+    Returns:
+        A newline-joined string, north at the top.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.shape != grid.shape:
+        raise ConfigurationError(
+            f"map shape {arr.shape} does not match grid {grid.shape}"
+        )
+    if width < 8:
+        raise ConfigurationError("width must be >= 8")
+    aspect = (grid.y_max - grid.y_min) / (grid.x_max - grid.x_min)
+    height = max(int(round(width * aspect / 2.0)), 4)
+    normalised = normalize_peak(arr)
+    rows: List[List[str]] = []
+    for r in range(height):
+        # Row 0 is the top of the picture = max y.
+        y = grid.y_max - (r + 0.5) * (grid.y_max - grid.y_min) / height
+        row = []
+        for c in range(width):
+            x = grid.x_min + (c + 0.5) * (grid.x_max - grid.x_min) / width
+            gr, gc = grid.index_of(Point(x, y))
+            level = normalised[gr, gc]
+            row.append(_RAMP[int(level * (len(_RAMP) - 1))])
+        rows.append(row)
+    for point, character in markers or []:
+        if not grid.contains(point):
+            continue
+        c = int(
+            (point.x - grid.x_min) / (grid.x_max - grid.x_min) * width
+        )
+        r = int(
+            (grid.y_max - point.y) / (grid.y_max - grid.y_min) * height
+        )
+        c = min(max(c, 0), width - 1)
+        r = min(max(r, 0), height - 1)
+        rows[r][c] = character[0]
+    border = "+" + "-" * width + "+"
+    body = ["|" + "".join(row) + "|" for row in rows]
+    return "\n".join([border, *body, border])
+
+
+def render_testbed(testbed, width: int = 64) -> str:
+    """ASCII floor plan: walls, reflectors (#), anchors (A), master (M)."""
+    env = testbed.environment
+    x_min, x_max, y_min, y_max = env.bounds()
+    grid = Grid2D(x_min, x_max, y_min, y_max, min(env.width, env.height) / 40)
+    blank = np.zeros(grid.shape)
+    markers = []
+    for reflector in env.reflectors:
+        segment = reflector.segment
+        steps = max(int(segment.length() / grid.resolution), 1)
+        for k in range(steps + 1):
+            markers.append((segment.point_at(k / steps), "#"))
+    for anchor in testbed.anchors:
+        symbol = "M" if anchor is testbed.master else "A"
+        markers.append((anchor.position, symbol))
+    return render_map(blank, grid, width=width, markers=markers)

@@ -1,0 +1,94 @@
+"""Tests for repro.baselines.aoa: the AoA-combining baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.aoa import AOA_MODES, AoaLocalizer
+from repro.errors import ConfigurationError
+from repro.sim import ChannelMeasurementModel
+from repro.sim.testbed import open_room_testbed
+from repro.utils.geometry2d import Point
+
+
+@pytest.fixture(scope="module")
+def clean_los_observations():
+    testbed = open_room_testbed()
+    model = ChannelMeasurementModel(
+        testbed=testbed,
+        seed=31,
+        snr_db=40.0,
+        oscillator_drift_std=0.0,
+        calibration_error_m=0.0,
+        element_phase_error_deg=0.0,
+        element_gain_error_db=0.0,
+    )
+    return model.measure(Point(0.9, 0.7))
+
+
+class TestConfig:
+    def test_invalid_mode(self):
+        with pytest.raises(ConfigurationError):
+            AoaLocalizer(mode="magic")
+
+    def test_invalid_resolution(self):
+        with pytest.raises(ConfigurationError):
+            AoaLocalizer(grid_resolution_m=0)
+
+    def test_modes_registry(self):
+        assert set(AOA_MODES) == {"triangulation", "spectrum"}
+
+
+class TestAngles:
+    def test_per_anchor_angles_near_geometry(self, clean_los_observations):
+        obs = clean_los_observations
+        result = AoaLocalizer().locate(obs)
+        for anchor, estimated in zip(
+            obs.anchors, result.per_anchor_angles_rad
+        ):
+            true_angle = anchor.angle_to(obs.ground_truth)
+            assert abs(estimated - true_angle) < np.radians(8.0)
+
+
+class TestTriangulation:
+    def test_locates_in_los(self, clean_los_observations):
+        result = AoaLocalizer().locate(clean_los_observations)
+        error = (
+            result.position - clean_los_observations.ground_truth
+        ).norm()
+        assert error < 0.5
+
+    def test_estimate_clamped_to_bounds(self, clean_los_observations):
+        localizer = AoaLocalizer(bounds=(-0.1, 0.1, -0.1, 0.1))
+        result = localizer.locate(clean_los_observations)
+        assert -0.1 <= result.position.x <= 0.1
+        assert -0.1 <= result.position.y <= 0.1
+
+
+class TestSpectrumMode:
+    def test_locates_in_los(self, clean_los_observations):
+        result = AoaLocalizer(mode="spectrum").locate(
+            clean_los_observations
+        )
+        error = (
+            result.position - clean_los_observations.ground_truth
+        ).norm()
+        assert error < 0.5
+
+    def test_map_kept_only_on_request(self, clean_los_observations):
+        localizer = AoaLocalizer(mode="spectrum")
+        with_map = localizer.locate(clean_los_observations, keep_map=True)
+        without = localizer.locate(clean_los_observations, keep_map=False)
+        assert with_map.likelihood is not None
+        assert without.likelihood is None
+
+    def test_spectrum_mode_not_worse_than_triangulation_clean(
+        self, clean_los_observations
+    ):
+        truth = clean_los_observations.ground_truth
+        tri = AoaLocalizer().locate(clean_los_observations)
+        soft = AoaLocalizer(mode="spectrum").locate(clean_los_observations)
+        assert (soft.position - truth).norm() <= (
+            tri.position - truth
+        ).norm() + 0.3

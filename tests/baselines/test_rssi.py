@@ -1,0 +1,126 @@
+"""Tests for repro.baselines.rssi: trilateration and fingerprinting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.rssi import (
+    RssiFingerprinting,
+    RssiTrilateration,
+    observation_rssi_dbm,
+)
+from repro.errors import ConfigurationError, LocalizationError
+from repro.sim import ChannelMeasurementModel
+from repro.sim.scenario import sample_tag_positions
+from repro.sim.testbed import open_room_testbed
+from repro.utils.geometry2d import Point
+
+
+@pytest.fixture(scope="module")
+def los_model():
+    testbed = open_room_testbed()
+    return ChannelMeasurementModel(
+        testbed=testbed,
+        seed=91,
+        snr_db=35.0,
+        calibration_error_m=0.0,
+        element_phase_error_deg=0.0,
+        element_gain_error_db=0.0,
+    )
+
+
+class TestRssiExtraction:
+    def test_closer_anchor_stronger(self, los_model):
+        obs = los_model.measure(Point(0.0, -1.2))  # near AP1 (south)
+        rssi = observation_rssi_dbm(obs)
+        assert rssi[0] > rssi[2]  # south anchor beats north anchor
+
+
+class TestTrilateration:
+    def test_path_loss_inversion(self):
+        baseline = RssiTrilateration(
+            rssi_at_1m_dbm=-40.0, path_loss_exponent=2.0
+        )
+        distances = baseline.distances_from_rssi(np.array([-40.0, -60.0]))
+        assert distances[0] == pytest.approx(1.0)
+        assert distances[1] == pytest.approx(10.0)
+
+    def test_invalid_exponent(self):
+        with pytest.raises(ConfigurationError):
+            RssiTrilateration(path_loss_exponent=0)
+
+    def test_calibration_recovers_free_space(self, los_model):
+        testbed = los_model.testbed
+        positions = sample_tag_positions(testbed, 25, seed=5)
+        observations = [
+            los_model.measure(p, round_index=k)
+            for k, p in enumerate(positions)
+        ]
+        baseline = RssiTrilateration()
+        baseline.calibrate(observations)
+        # Our channel gain is A/d with A = 1: exponent 2 in power.
+        assert baseline.path_loss_exponent == pytest.approx(2.0, abs=0.6)
+
+    def test_locates_roughly_in_los(self, los_model):
+        positions = sample_tag_positions(los_model.testbed, 25, seed=5)
+        observations = [
+            los_model.measure(p, round_index=k)
+            for k, p in enumerate(positions)
+        ]
+        baseline = RssiTrilateration()
+        baseline.calibrate(observations)
+        errors = []
+        for obs in observations[:10]:
+            result = baseline.locate(obs)
+            errors.append((result.position - obs.ground_truth).norm())
+        # RSSI is coarse; LOS free-ish space should still bound it.
+        assert np.median(errors) < 1.5
+
+    def test_calibration_needs_ground_truth(self, los_model):
+        obs = los_model.measure(Point(0, 0))
+        obs.ground_truth = None
+        with pytest.raises(ConfigurationError):
+            RssiTrilateration().calibrate([obs])
+
+
+class TestFingerprinting:
+    def test_needs_training(self, los_model):
+        obs = los_model.measure(Point(0, 0))
+        with pytest.raises(LocalizationError):
+            RssiFingerprinting().locate(obs)
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            RssiFingerprinting(k=0)
+
+    def test_exact_match_recovers_position(self, los_model):
+        positions = sample_tag_positions(los_model.testbed, 30, seed=6)
+        observations = [
+            los_model.measure(p, round_index=k)
+            for k, p in enumerate(positions)
+        ]
+        fingerprinting = RssiFingerprinting(k=1)
+        fingerprinting.train(observations)
+        result = fingerprinting.locate(observations[7])
+        assert (result.position - positions[7]).norm() < 1e-9
+
+    def test_interpolates_between_neighbours(self, los_model):
+        positions = sample_tag_positions(los_model.testbed, 40, seed=7)
+        observations = [
+            los_model.measure(p, round_index=k)
+            for k, p in enumerate(positions)
+        ]
+        fingerprinting = RssiFingerprinting(k=3)
+        fingerprinting.train(observations[:-5])
+        errors = [
+            (fingerprinting.locate(obs).position - obs.ground_truth).norm()
+            for obs in observations[-5:]
+        ]
+        assert np.median(errors) < 2.0
+
+    def test_num_fingerprints(self, los_model):
+        fingerprinting = RssiFingerprinting()
+        assert fingerprinting.num_fingerprints == 0
+        fingerprinting.train([los_model.measure(Point(0, 0))])
+        assert fingerprinting.num_fingerprints == 1

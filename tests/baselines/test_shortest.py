@@ -1,0 +1,29 @@
+"""Tests for repro.baselines.shortest: the Section 8.7 naive baseline."""
+
+from __future__ import annotations
+
+from repro.baselines.shortest import (
+    ShortestDistanceLocalizer,
+    shortest_distance_localizer,
+)
+from repro.core import BlocConfig
+
+
+class TestConstruction:
+    def test_dataclass_variant_forces_selection(self):
+        localizer = ShortestDistanceLocalizer()
+        assert localizer.config.selection == "shortest"
+
+    def test_factory_forces_selection(self):
+        localizer = shortest_distance_localizer()
+        assert localizer.config.selection == "shortest"
+
+    def test_factory_preserves_other_config(self):
+        config = BlocConfig(grid_resolution_m=0.2)
+        localizer = shortest_distance_localizer(config=config)
+        assert localizer.config.grid_resolution_m == 0.2
+        assert localizer.config.selection == "shortest"
+
+    def test_locates(self, clean_observations):
+        result = shortest_distance_localizer().locate(clean_observations)
+        assert result.position is not None

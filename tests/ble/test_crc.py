@@ -1,0 +1,96 @@
+"""Tests for repro.ble.crc: the 24-bit link-layer CRC."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ble.crc import append_crc, check_crc, crc24, crc24_bits
+from repro.errors import CrcError, ProtocolError
+
+bit_lists = st.lists(
+    st.integers(min_value=0, max_value=1), min_size=1, max_size=200
+)
+
+
+class TestCrc24:
+    def test_deterministic(self):
+        bits = [1, 0, 1, 1, 0, 0, 1, 0]
+        assert crc24(bits) == crc24(bits)
+
+    def test_fits_24_bits(self):
+        assert 0 <= crc24([1, 0, 1]) < (1 << 24)
+
+    def test_init_value_matters(self):
+        bits = [1, 0, 1, 1]
+        assert crc24(bits, 0x555555) != crc24(bits, 0x123456)
+
+    def test_invalid_init(self):
+        with pytest.raises(ProtocolError):
+            crc24([1], crc_init=1 << 24)
+
+    def test_crc_bits_msb_first(self):
+        value = crc24([1, 0, 1])
+        bits = crc24_bits([1, 0, 1])
+        assert bits[0] == (value >> 23) & 1
+        assert bits[-1] == value & 1
+
+    def test_empty_pdu_crc_is_init_permutation(self):
+        # CRC of an empty message is just the untouched register.
+        assert crc24([], crc_init=0x555555) == 0x555555
+
+
+class TestRoundtrip:
+    @given(bit_lists)
+    @settings(max_examples=60)
+    def test_append_then_check(self, bits):
+        framed = append_crc(bits)
+        recovered = check_crc(framed)
+        assert np.array_equal(recovered, np.asarray(bits, dtype=np.uint8))
+
+    @given(bit_lists, st.integers(min_value=0))
+    @settings(max_examples=60)
+    def test_single_bit_error_detected(self, bits, flip_seed):
+        """A CRC with (x+1) | poly-like structure catches any 1-bit error;
+        CRC-24 certainly does."""
+        framed = append_crc(bits)
+        position = flip_seed % framed.size
+        corrupted = framed.copy()
+        corrupted[position] ^= 1
+        with pytest.raises(CrcError):
+            check_crc(corrupted)
+
+    def test_burst_error_detected(self):
+        framed = append_crc([1, 0, 1, 1, 0, 1, 0, 0] * 4)
+        corrupted = framed.copy()
+        corrupted[5:15] ^= 1
+        with pytest.raises(CrcError):
+            check_crc(corrupted)
+
+    def test_too_short_stream(self):
+        with pytest.raises(ProtocolError):
+            check_crc([1] * 20)
+
+    def test_crc_error_reports_values(self):
+        framed = append_crc([1, 1, 0, 0])
+        corrupted = framed.copy()
+        corrupted[0] ^= 1
+        with pytest.raises(CrcError) as excinfo:
+            check_crc(corrupted)
+        assert excinfo.value.expected != excinfo.value.actual
+
+
+class TestLinearity:
+    @given(bit_lists)
+    @settings(max_examples=30)
+    def test_crc_of_xor_relates_to_xor_of_crcs(self, bits):
+        """CRC is affine: crc(a ^ b) ^ crc(0) == crc(a) ^ crc(b) for
+        equal-length messages (all with the same init)."""
+        a = np.asarray(bits, dtype=np.uint8)
+        b = np.roll(a, 1)
+        zero = np.zeros_like(a)
+        lhs = crc24(a ^ b) ^ crc24(zero)
+        rhs = crc24(a) ^ crc24(b)
+        assert lhs == rhs

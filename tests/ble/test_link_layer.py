@@ -1,0 +1,88 @@
+"""Tests for repro.ble.link_layer: connections and event scheduling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ble.channels import ChannelMap
+from repro.ble.link_layer import Connection, establish_connection
+from repro.ble.localization import find_tone_segments
+from repro.errors import ConfigurationError
+
+
+class TestConnection:
+    def test_events_follow_hop_sequence(self):
+        conn = Connection(hop_increment=7, start_channel=0)
+        channels = [conn.next_event().data_channel for _ in range(4)]
+        assert channels == [0, 7, 14, 21]
+
+    def test_event_timing(self):
+        conn = Connection(connection_interval_s=0.01)
+        first = conn.next_event()
+        second = conn.next_event()
+        assert first.start_time_s == pytest.approx(0.0)
+        assert second.start_time_s == pytest.approx(0.01)
+
+    def test_invalid_interval(self):
+        with pytest.raises(ConfigurationError):
+            Connection(connection_interval_s=0)
+
+    def test_sweep_covers_all_channels(self):
+        conn = Connection(hop_increment=11)
+        events = conn.localization_sweep()
+        assert sorted(e.data_channel for e in events) == list(range(37))
+
+    def test_sweep_with_reduced_map_stays_in_map(self):
+        cm = ChannelMap((0, 5, 10, 15, 20))
+        conn = Connection(hop_increment=7, channel_map=cm)
+        for event in conn.localization_sweep():
+            assert cm.contains(event.data_channel)
+
+    def test_both_packets_on_same_channel(self):
+        conn = Connection()
+        event = conn.next_event()
+        assert (
+            event.master_packet.channel_index
+            == event.slave_packet.channel_index
+            == event.data_channel
+        )
+
+    def test_packets_contain_tone_runs(self):
+        conn = Connection(run_length=8, num_pairs=4)
+        event = conn.next_event()
+        on_air_pdu = event.master_packet.bits[40:]
+        # De-whitening the PDU region is unnecessary: the payload was
+        # pre-compensated, so the *transmitted* bits carry the runs.
+        segments = find_tone_segments(
+            event.master_packet.bits, min_run=4, settle_bits=2
+        )
+        assert len(segments) >= 4
+
+    def test_sequence_numbers_alternate(self):
+        conn = Connection()
+        first = conn.next_event()
+        second = conn.next_event()
+        assert first.master_packet.pdu.sn == 0
+        assert second.master_packet.pdu.sn == 1
+
+
+class TestEstablishConnection:
+    def test_deterministic_given_seed(self):
+        a = establish_connection(rng=9)
+        b = establish_connection(rng=9)
+        assert a.access_address == b.access_address
+        assert a.hop_increment == b.hop_increment
+
+    def test_hop_increment_in_spec_range(self):
+        for seed in range(10):
+            conn = establish_connection(rng=seed)
+            assert 5 <= conn.hop_increment <= 16
+
+    def test_custom_channel_map_respected(self):
+        cm = ChannelMap((1, 2, 3))
+        conn = establish_connection(rng=0, channel_map=cm)
+        assert conn.channel_map is cm
+
+    def test_kwargs_forwarded(self):
+        conn = establish_connection(rng=0, run_length=10)
+        assert conn.run_length == 10

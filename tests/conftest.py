@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite.
+
+Session-scoped fixtures hold the expensive objects (testbeds, measured
+observations) so hundreds of tests stay fast.  Tests that mutate state
+build their own instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim import ChannelMeasurementModel
+from repro.sim.testbed import open_room_testbed, vicon_testbed
+from repro.utils.geometry2d import Point
+
+
+@pytest.fixture(scope="session")
+def testbed():
+    """The default cluttered VICON-room testbed."""
+    return vicon_testbed()
+
+
+@pytest.fixture(scope="session")
+def los_testbed():
+    """A clutter-free room for LOS-only checks."""
+    return open_room_testbed()
+
+
+@pytest.fixture(scope="session")
+def tag_position():
+    """A representative interior tag position."""
+    return Point(0.8, 0.4)
+
+
+@pytest.fixture(scope="session")
+def observations(testbed, tag_position):
+    """One measured observation set on the cluttered testbed."""
+    model = ChannelMeasurementModel(testbed=testbed, seed=101)
+    return model.measure(tag_position)
+
+
+@pytest.fixture(scope="session")
+def clean_observations(los_testbed, tag_position):
+    """Noise-free, drift-free observations: Eq. 10 must hold exactly."""
+    model = ChannelMeasurementModel(
+        testbed=los_testbed,
+        seed=202,
+        snr_db=200.0,
+        oscillator_drift_std=0.0,
+        calibration_error_m=0.0,
+    )
+    return model.measure(tag_position)
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)

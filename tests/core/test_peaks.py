@@ -1,0 +1,126 @@
+"""Tests for repro.core.peaks: local-maximum detection and refinement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.peaks import Peak, PeakConfig, find_peaks, refine_peak_position
+from repro.errors import ConfigurationError, LocalizationError
+from repro.utils.geometry2d import Point
+from repro.utils.gridmap import Grid2D
+
+
+@pytest.fixture()
+def grid():
+    return Grid2D(0.0, 4.0, 0.0, 4.0, 0.1)
+
+
+def gaussian_bump(grid, centre, height=1.0, sigma=0.2):
+    points = grid.points()
+    d2 = (points[:, 0] - centre[0]) ** 2 + (points[:, 1] - centre[1]) ** 2
+    return grid.reshape(height * np.exp(-d2 / (2 * sigma**2)))
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"neighborhood": 2},
+            {"neighborhood": 4},
+            {"min_relative_value": 1.5},
+            {"min_separation_m": -1},
+            {"max_peaks": 0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            PeakConfig(**kwargs)
+
+
+class TestFindPeaks:
+    def test_single_bump(self, grid):
+        values = gaussian_bump(grid, (2.0, 3.0))
+        peaks = find_peaks(values, grid)
+        assert len(peaks) == 1
+        assert (peaks[0].position - Point(2.0, 3.0)).norm() < 0.1
+
+    def test_two_bumps_sorted_by_value(self, grid):
+        values = gaussian_bump(grid, (1.0, 1.0), height=1.0) + gaussian_bump(
+            grid, (3.0, 3.0), height=0.7
+        )
+        peaks = find_peaks(values, grid)
+        assert len(peaks) == 2
+        assert peaks[0].value > peaks[1].value
+        assert (peaks[0].position - Point(1.0, 1.0)).norm() < 0.1
+
+    def test_weak_bump_pruned(self, grid):
+        values = gaussian_bump(grid, (1.0, 1.0), height=1.0) + gaussian_bump(
+            grid, (3.0, 3.0), height=0.1
+        )
+        peaks = find_peaks(
+            values, grid, PeakConfig(min_relative_value=0.35)
+        )
+        assert len(peaks) == 1
+
+    def test_min_separation_merges(self, grid):
+        values = gaussian_bump(grid, (2.0, 2.0)) + gaussian_bump(
+            grid, (2.25, 2.0), height=0.9
+        )
+        peaks = find_peaks(
+            values, grid, PeakConfig(min_separation_m=0.5)
+        )
+        assert len(peaks) == 1
+
+    def test_max_peaks_cap(self, grid):
+        values = sum(
+            gaussian_bump(grid, (x, y), height=0.8)
+            for x in (0.7, 2.0, 3.3)
+            for y in (0.7, 2.0, 3.3)
+        )
+        peaks = find_peaks(
+            values, grid, PeakConfig(max_peaks=4, min_relative_value=0.1)
+        )
+        assert len(peaks) == 4
+
+    def test_flat_map_raises(self, grid):
+        with pytest.raises(LocalizationError):
+            find_peaks(np.ones(grid.shape), grid)
+
+    def test_zero_map_raises(self, grid):
+        with pytest.raises(LocalizationError):
+            find_peaks(np.zeros(grid.shape), grid)
+
+    def test_shape_mismatch(self, grid):
+        with pytest.raises(ConfigurationError):
+            find_peaks(np.ones((3, 3)), grid)
+
+    def test_peak_at_border_found(self, grid):
+        values = gaussian_bump(grid, (0.0, 2.0))
+        peaks = find_peaks(values, grid)
+        assert peaks[0].col == 0
+
+
+class TestRefine:
+    def test_subgrid_refinement(self, grid):
+        true_centre = (2.03, 2.97)
+        values = gaussian_bump(grid, true_centre, sigma=0.3)
+        peak = find_peaks(values, grid)[0]
+        refined = refine_peak_position(values, grid, peak)
+        coarse_error = (peak.position - Point(*true_centre)).norm()
+        fine_error = (refined - Point(*true_centre)).norm()
+        assert fine_error <= coarse_error
+        assert fine_error < 0.02
+
+    def test_border_peak_unrefined(self, grid):
+        values = gaussian_bump(grid, (0.0, 2.0))
+        peak = find_peaks(values, grid)[0]
+        refined = refine_peak_position(values, grid, peak)
+        assert refined == peak.position
+
+    def test_refinement_bounded_by_half_cell(self, grid):
+        values = gaussian_bump(grid, (2.0, 2.0))
+        peak = find_peaks(values, grid)[0]
+        refined = refine_peak_position(values, grid, peak)
+        assert abs(refined.x - peak.position.x) <= grid.resolution / 2
+        assert abs(refined.y - peak.position.y) <= grid.resolution / 2

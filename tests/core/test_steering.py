@@ -1,0 +1,128 @@
+"""Tests for repro.core.steering: angle and distance spectra."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constants import SPEED_OF_LIGHT
+from repro.core.steering import (
+    aliasing_distance_m,
+    angle_spectrum,
+    distance_spectrum,
+    range_resolution_m,
+)
+from repro.errors import ConfigurationError
+
+
+def ula_channels(theta_rad, num_antennas=4, spacing=0.0614, f=2.44e9):
+    """Synthetic single-path channels for a ULA (library convention:
+    element j closer to a +theta source -> positive phase step)."""
+    wavelength = SPEED_OF_LIGHT / f
+    j = np.arange(num_antennas)
+    return np.exp(2j * np.pi * j * spacing * np.sin(theta_rad) / wavelength)
+
+
+class TestAngleSpectrum:
+    @pytest.mark.parametrize("theta_deg", [-50, -20, 0, 15, 40, 70])
+    def test_peak_at_true_angle(self, theta_deg):
+        theta = np.radians(theta_deg)
+        h = ula_channels(theta)
+        angles, spectrum = angle_spectrum(h, 0.0614, 2.44e9)
+        peak = np.degrees(angles[int(np.argmax(spectrum))])
+        assert peak == pytest.approx(theta_deg, abs=2.0)
+
+    def test_normalised_to_one(self):
+        h = ula_channels(0.3)
+        _, spectrum = angle_spectrum(h, 0.0614, 2.44e9)
+        assert spectrum.max() == pytest.approx(1.0)
+
+    def test_multiband_sharper_or_equal(self):
+        theta = np.radians(25)
+        freqs = np.array([2.41e9, 2.44e9, 2.47e9])
+        h = np.column_stack([
+            ula_channels(theta, f=f) for f in freqs
+        ])
+        angles, multi = angle_spectrum(h, 0.0614, freqs)
+        peak = np.degrees(angles[int(np.argmax(multi))])
+        assert peak == pytest.approx(25, abs=2.0)
+
+    def test_two_sources_two_peaks(self):
+        h = ula_channels(np.radians(-40)) + ula_channels(np.radians(40))
+        angles, spectrum = angle_spectrum(h, 0.0614, 2.44e9)
+        strong = np.degrees(angles[spectrum > 0.8])
+        assert strong.min() < -30
+        assert strong.max() > 30
+
+    def test_custom_angles(self):
+        h = ula_channels(0.0)
+        grid = np.linspace(-0.5, 0.5, 21)
+        angles, spectrum = angle_spectrum(h, 0.0614, 2.44e9, angles_rad=grid)
+        assert angles is grid or np.array_equal(angles, grid)
+        assert spectrum.size == 21
+
+
+class TestDistanceSpectrum:
+    def test_peak_at_relative_distance(self):
+        freqs = 2.404e9 + 2e6 * np.arange(37)
+        rel_distance = 3.7
+        h = np.exp(-2j * np.pi * freqs * rel_distance / SPEED_OF_LIGHT)
+        distances, spectrum = distance_spectrum(h, freqs)
+        peak = distances[int(np.argmax(spectrum))]
+        assert peak == pytest.approx(rel_distance, abs=0.1)
+
+    def test_negative_relative_distance(self):
+        freqs = 2.404e9 + 2e6 * np.arange(37)
+        h = np.exp(-2j * np.pi * freqs * (-2.2) / SPEED_OF_LIGHT)
+        distances, spectrum = distance_spectrum(h, freqs)
+        peak = distances[int(np.argmax(spectrum))]
+        assert peak == pytest.approx(-2.2, abs=0.1)
+
+    def test_two_paths_resolved_with_wide_band(self):
+        freqs = 2.404e9 + 2e6 * np.arange(37)  # 72 MHz span
+        d1, d2 = 1.0, 7.0  # separation >> c/72MHz ~ 4.2 m
+        h = np.exp(-2j * np.pi * freqs * d1 / SPEED_OF_LIGHT) + 0.8 * np.exp(
+            -2j * np.pi * freqs * d2 / SPEED_OF_LIGHT
+        )
+        distances, spectrum = distance_spectrum(h, freqs)
+        near_d1 = spectrum[np.abs(distances - d1) < 0.5].max()
+        near_d2 = spectrum[np.abs(distances - d2) < 0.5].max()
+        trough = spectrum[np.abs(distances - (d1 + d2) / 2) < 0.5].min()
+        assert near_d1 > 0.8
+        assert near_d2 > 0.6
+        assert trough < near_d2
+
+    def test_narrowband_cannot_resolve(self):
+        """The paper's Eq. 6: 2 MHz cannot separate indoor paths."""
+        freqs = np.array([2.404e9, 2.405e9])  # single-channel tones
+        d1, d2 = 1.0, 7.0
+        h = np.exp(-2j * np.pi * freqs * d1 / SPEED_OF_LIGHT) + np.exp(
+            -2j * np.pi * freqs * d2 / SPEED_OF_LIGHT
+        )
+        distances, spectrum = distance_spectrum(h, freqs)
+        # With ~1 MHz of bandwidth the spectrum is essentially flat over
+        # indoor scales: no deep separation between the two paths.
+        within = spectrum[np.abs(distances) < 10]
+        assert within.min() > 0.3
+
+    def test_mismatched_sizes(self):
+        with pytest.raises(ConfigurationError):
+            distance_spectrum(np.ones(5, complex), np.ones(4))
+
+
+class TestResolutionFormulas:
+    def test_range_resolution(self):
+        assert range_resolution_m(80e6) == pytest.approx(3.747, rel=1e-3)
+
+    def test_ble_single_channel_resolution_exceeds_rooms(self):
+        """Paper: 1 MHz effective bandwidth -> ~300 m resolution."""
+        assert range_resolution_m(1e6) == pytest.approx(299.8, rel=1e-3)
+
+    def test_aliasing_distance(self):
+        assert aliasing_distance_m(4e6) == pytest.approx(74.9, rel=1e-3)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            range_resolution_m(0)
+        with pytest.raises(ConfigurationError):
+            aliasing_distance_m(-1)

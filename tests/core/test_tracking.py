@@ -1,0 +1,100 @@
+"""Tests for repro.core.tracking: the Kalman tag tracker."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.tracking import TagTracker, track_errors_m
+from repro.errors import ConfigurationError
+from repro.utils.geometry2d import Point
+
+
+def straight_line_truths(n=40, speed=1.0, dt=0.025):
+    return [Point(0.2 * 0 + speed * dt * k, 0.5) for k in range(n)]
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"measurement_std_m": 0},
+            {"acceleration_std": 0},
+            {"gate_sigma": 0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TagTracker(**kwargs)
+
+    def test_invalid_dt(self):
+        tracker = TagTracker()
+        with pytest.raises(ConfigurationError):
+            tracker.update(Point(0, 0), dt=0)
+
+
+class TestFiltering:
+    def test_first_fix_passes_through(self):
+        tracker = TagTracker()
+        state = tracker.update(Point(1.0, 2.0))
+        assert state.position == Point(1.0, 2.0)
+        assert not state.gated
+        assert tracker.initialized
+
+    def test_smoothing_reduces_noise(self, rng):
+        truths = straight_line_truths()
+        noisy = [
+            Point(t.x + rng.normal(0, 0.3), t.y + rng.normal(0, 0.3))
+            for t in truths
+        ]
+        tracker = TagTracker(measurement_std_m=0.3)
+        states = tracker.track(noisy)
+        raw_errors = np.array(
+            [(f - t).norm() for f, t in zip(noisy, truths)]
+        )
+        filtered_errors = track_errors_m(states, truths)
+        # Compare steady-state behaviour (skip the convergence phase).
+        assert filtered_errors[10:].mean() < raw_errors[10:].mean()
+
+    def test_velocity_estimated(self, rng):
+        truths = straight_line_truths(speed=2.0)
+        tracker = TagTracker(measurement_std_m=0.05)
+        states = tracker.track(truths)
+        assert states[-1].velocity.x == pytest.approx(2.0, abs=0.4)
+        assert states[-1].velocity.y == pytest.approx(0.0, abs=0.2)
+
+    def test_ghost_fix_gated(self):
+        tracker = TagTracker(measurement_std_m=0.1, gate_sigma=3.0)
+        for k in range(10):
+            tracker.update(Point(0.025 * k, 0.0))
+        ghost = tracker.update(Point(5.0, 5.0))
+        assert ghost.gated
+        # The filtered position coasts near the prediction, not the ghost.
+        assert ghost.position.x < 1.0
+
+    def test_consistent_fixes_not_gated(self):
+        tracker = TagTracker(measurement_std_m=0.3)
+        states = tracker.track(straight_line_truths())
+        assert not any(s.gated for s in states)
+
+    def test_reset(self):
+        tracker = TagTracker()
+        tracker.update(Point(1, 1))
+        tracker.reset()
+        assert not tracker.initialized
+        assert tracker.history == []
+
+
+class TestErrors:
+    def test_track_errors_shape(self):
+        tracker = TagTracker()
+        truths = straight_line_truths(n=5)
+        states = tracker.track(truths)
+        errors = track_errors_m(states, truths)
+        assert errors.shape == (5,)
+
+    def test_count_mismatch(self):
+        tracker = TagTracker()
+        states = tracker.track(straight_line_truths(n=3))
+        with pytest.raises(ConfigurationError):
+            track_errors_m(states, straight_line_truths(n=4))

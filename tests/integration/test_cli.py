@@ -1,0 +1,40 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_floorplan(self, capsys):
+        assert main(["floorplan", "--width", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "M" in out and "#" in out
+
+    def test_throughput(self, capsys):
+        assert main(["throughput", "--sweeps", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "airtime" in out
+
+    def test_throughput_infeasible_rate_errors(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["throughput", "--sweeps", "10"])
+
+    def test_evaluate_small(self, capsys):
+        assert main(["evaluate", "-n", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "BLoc" in out and "median" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo", "-x", "0.5", "-y", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "error" in out
+        assert "T" in out or "E" in out

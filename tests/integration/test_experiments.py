@@ -1,0 +1,80 @@
+"""Smoke tests for the experiment runners (full runs live in benchmarks/)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import EXPERIMENTS, fig04_gfsk, fig08_micro
+from repro.experiments.common import (
+    ExperimentResult,
+    ExperimentRow,
+)
+from repro.experiments.fig13_location import corner_and_interior_rmse
+
+
+class TestRegistry:
+    def test_every_paper_figure_present(self):
+        for figure in ("fig4", "fig6", "fig8", "fig9", "fig10", "fig11",
+                       "fig12", "fig13"):
+            assert figure in EXPERIMENTS
+
+    def test_ablations_present(self):
+        assert "ablations" in EXPERIMENTS
+
+
+class TestResultType:
+    def test_row_format(self):
+        row = ExperimentRow("BLoc median", measured=86.2, paper=86.0)
+        text = row.format()
+        assert "86.0" in text and "86.2" in text
+
+    def test_row_without_paper_value(self):
+        row = ExperimentRow("qualitative", measured=1.0)
+        assert "-" in row.format()
+
+    def test_result_lookup(self):
+        result = ExperimentResult(
+            "x", "t", rows=[ExperimentRow("a", measured=1.0)]
+        )
+        assert result.measured("a") == 1.0
+        with pytest.raises(KeyError):
+            result.measured("b")
+
+    def test_report_contains_notes(self):
+        result = ExperimentResult("x", "t", notes=["caveat"])
+        assert "caveat" in result.format_report()
+
+
+class TestFastRunners:
+    def test_fig4_runs(self):
+        result = fig04_gfsk.run(num_bits=100)
+        assert result.experiment_id == "fig4"
+        assert len(result.rows) == 3
+
+    def test_fig8b_separates_corrected_phase(self):
+        result = fig08_micro.run_offset_cancellation()
+        raw = result.measured("phase-increment spread, no correction")
+        corrected = result.measured(
+            "phase-increment spread, BLoc correction"
+        )
+        assert corrected < raw
+
+
+class TestFig13Helpers:
+    def test_corner_interior_split(self):
+        rmse = np.ones((6, 6))
+        rmse[0, 0] = 3.0  # a bad corner bin
+        corner, interior = corner_and_interior_rmse(
+            np.arange(7), np.arange(7), rmse
+        )
+        assert corner > interior
+
+    def test_nan_bins_ignored(self):
+        rmse = np.full((4, 4), np.nan)
+        rmse[1, 1] = 1.0
+        corner, interior = corner_and_interior_rmse(
+            np.arange(5), np.arange(5), rmse
+        )
+        assert np.isnan(corner) or corner >= 0
+        assert interior == pytest.approx(1.0)

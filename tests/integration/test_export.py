@@ -1,0 +1,68 @@
+"""Tests for repro.experiments.export: CSV series export.
+
+Uses a tiny dataset size so the underlying evaluation runs are quick (and
+shared with any other test using the common cache).
+"""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.experiments.export import (
+    export_all,
+    export_bandwidth_csv,
+    export_cdf_csv,
+    export_spatial_rmse_csv,
+)
+
+N = 6  # tiny evaluation, cached across the tests below
+
+
+def read_csv(path):
+    with open(path, newline="", encoding="utf-8") as handle:
+        return list(csv.reader(handle))
+
+
+class TestCdfExport:
+    def test_writes_one_file_per_scheme(self, tmp_path):
+        written = export_cdf_csv(tmp_path, num_positions=N)
+        assert set(written) == {"bloc", "aoa", "shortest"}
+        for path in written.values():
+            rows = read_csv(path)
+            assert rows[0] == ["error_m", "cdf"]
+            assert len(rows) == N + 1
+
+    def test_cdf_monotone(self, tmp_path):
+        written = export_cdf_csv(tmp_path, num_positions=N)
+        rows = read_csv(written["bloc"])[1:]
+        probabilities = [float(row[1]) for row in rows]
+        assert probabilities == sorted(probabilities)
+        assert probabilities[-1] == pytest.approx(1.0)
+
+
+class TestBandwidthExport:
+    def test_four_sweep_points(self, tmp_path):
+        path = export_bandwidth_csv(tmp_path, num_positions=N)
+        rows = read_csv(path)
+        assert rows[0] == ["bandwidth_mhz", "median_error_m", "std_m"]
+        assert [row[0] for row in rows[1:]] == ["2", "20", "40", "80"]
+
+
+class TestSpatialExport:
+    def test_long_format_grid(self, tmp_path):
+        path = export_spatial_rmse_csv(tmp_path, num_positions=N)
+        rows = read_csv(path)
+        assert rows[0] == ["x_m", "y_m", "rmse_m"]
+        assert len(rows) > 10  # 6x5 room at 1 m bins = 30 cells
+
+
+class TestExportAll:
+    def test_everything_written(self, tmp_path):
+        written = export_all(tmp_path, num_positions=N)
+        assert {"bloc", "aoa", "shortest", "bandwidth", "spatial_rmse"} <= set(
+            written
+        )
+        for path in written.values():
+            assert path.exists()

@@ -1,0 +1,64 @@
+"""Tests for repro.rf.oscillator: the per-retune random phase model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rf.oscillator import Oscillator
+
+
+class TestOscillator:
+    def test_retune_changes_phase(self):
+        osc = Oscillator(rng=1)
+        first = osc.phase_offset()
+        osc.retune()
+        second = osc.phase_offset()
+        assert first != second
+
+    def test_phase_uniform_range(self):
+        osc = Oscillator(rng=2)
+        phases = [osc.retune() for _ in range(500)]
+        assert min(phases) >= -np.pi
+        assert max(phases) <= np.pi
+        # Roughly uniform: mean near 0, spread near pi/sqrt(3).
+        assert abs(np.mean(phases)) < 0.3
+        assert np.std(phases) == pytest.approx(np.pi / np.sqrt(3), rel=0.15)
+
+    def test_stable_without_drift(self):
+        osc = Oscillator(rng=3, drift_std_rad_per_s=0.0)
+        assert osc.phase_offset(1.0) == osc.phase_offset(2.0)
+
+    def test_drift_perturbs(self):
+        osc = Oscillator(rng=4, drift_std_rad_per_s=10.0)
+        base = osc.phase_offset(0.0)
+        later = osc.phase_offset(1e-3)
+        assert later != base
+
+    def test_drift_scales_with_time(self):
+        draws_short, draws_long = [], []
+        for seed in range(200):
+            osc = Oscillator(rng=seed, drift_std_rad_per_s=5.0)
+            base = osc.phase_offset(0.0)
+            draws_short.append(osc.phase_offset(1e-4) - base)
+            draws_long.append(osc.phase_offset(1e-2) - base)
+        assert np.std(draws_long) > np.std(draws_short) * 3
+
+    def test_negative_elapsed_rejected(self):
+        osc = Oscillator(rng=5)
+        with pytest.raises(ConfigurationError):
+            osc.phase_offset(-1.0)
+
+    def test_negative_drift_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Oscillator(drift_std_rad_per_s=-1.0)
+
+    def test_phasor_unit_magnitude(self):
+        osc = Oscillator(rng=6)
+        assert abs(osc.phasor()) == pytest.approx(1.0)
+
+    def test_deterministic_given_seed(self):
+        a = Oscillator(rng=7).phase_offset()
+        b = Oscillator(rng=7).phase_offset()
+        assert a == b

@@ -1,0 +1,51 @@
+"""Tests for repro.sdr.trace: capture (de)serialisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.sdr.iq import IqCapture
+from repro.sdr.trace import load_captures, save_captures
+
+
+def make_capture(seed=0):
+    rng = np.random.default_rng(seed)
+    return IqCapture(
+        samples=rng.normal(size=(2, 50)) + 1j * rng.normal(size=(2, 50)),
+        sample_rate=8e6,
+        channel_index=seed % 37,
+        carrier_frequency_hz=2.41e9,
+        source=f"tag-{seed}",
+        start_sample_offset=seed,
+    )
+
+
+class TestRoundtrip:
+    def test_save_load(self, tmp_path):
+        captures = [make_capture(0), make_capture(1)]
+        path = tmp_path / "trace.npz"
+        save_captures(path, captures)
+        loaded = load_captures(path)
+        assert len(loaded) == 2
+        for original, restored in zip(captures, loaded):
+            assert np.allclose(original.samples, restored.samples)
+            assert restored.channel_index == original.channel_index
+            assert restored.source == original.source
+            assert restored.start_sample_offset == original.start_sample_offset
+
+    def test_empty_list(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        save_captures(path, [])
+        assert load_captures(path) == []
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(MeasurementError):
+            load_captures(tmp_path / "nope.npz")
+
+    def test_not_a_trace(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, stuff=np.zeros(3))
+        with pytest.raises(MeasurementError):
+            load_captures(path)

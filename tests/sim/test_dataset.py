@@ -1,0 +1,71 @@
+"""Tests for repro.sim.dataset: evaluation dataset generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.dataset import EvaluationDataset, build_dataset
+from repro.sim.testbed import open_room_testbed
+from repro.utils.geometry2d import Point
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    return build_dataset(open_room_testbed(), num_positions=6, seed=9)
+
+
+class TestBuildDataset:
+    def test_size(self, small_dataset):
+        assert len(small_dataset) == 6
+
+    def test_every_entry_has_ground_truth(self, small_dataset):
+        for obs in small_dataset:
+            assert obs.ground_truth is not None
+
+    def test_truths_match_entries(self, small_dataset):
+        truths = small_dataset.truths()
+        for truth, obs in zip(truths, small_dataset):
+            assert truth == obs.ground_truth
+
+    def test_deterministic(self):
+        testbed = open_room_testbed()
+        a = build_dataset(testbed, num_positions=4, seed=11)
+        b = build_dataset(testbed, num_positions=4, seed=11)
+        for obs_a, obs_b in zip(a, b):
+            assert np.array_equal(obs_a.tag_to_anchor, obs_b.tag_to_anchor)
+
+    def test_explicit_positions(self):
+        testbed = open_room_testbed()
+        positions = [Point(0.0, 0.0), Point(1.0, 1.0)]
+        dataset = build_dataset(testbed, 0, positions=positions)
+        assert dataset.truths() == positions
+
+
+class TestTransformed:
+    def test_transform_applied(self, small_dataset):
+        derived = small_dataset.transformed(lambda o: o.select_antennas(2))
+        assert all(obs.num_antennas == 2 for obs in derived)
+
+    def test_original_untouched(self, small_dataset):
+        small_dataset.transformed(lambda o: o.select_antennas(2))
+        assert all(obs.num_antennas == 4 for obs in small_dataset)
+
+
+class TestValidation:
+    def test_entries_require_ground_truth(self, small_dataset):
+        entry = small_dataset.observations[0]
+        entry_without = type(entry)(
+            anchors=entry.anchors,
+            master_index=entry.master_index,
+            frequencies_hz=entry.frequencies_hz,
+            tag_to_anchor=entry.tag_to_anchor,
+            master_to_anchor=entry.master_to_anchor,
+            ground_truth=None,
+        )
+        with pytest.raises(ConfigurationError):
+            EvaluationDataset(
+                testbed=small_dataset.testbed,
+                observations=[entry_without],
+            )

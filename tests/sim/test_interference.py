@@ -1,0 +1,115 @@
+"""Tests for repro.sim.interference: Wi-Fi collision modelling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, MeasurementError
+from repro.sim.interference import (
+    InterferedMeasurementModel,
+    WifiNetwork,
+    affected_data_channels,
+    blacklist_map,
+)
+from repro.sim.measurement import ChannelMeasurementModel
+from repro.sim.testbed import open_room_testbed
+from repro.utils.geometry2d import Point
+
+
+@pytest.fixture(scope="module")
+def base_model():
+    return ChannelMeasurementModel(testbed=open_room_testbed(), seed=41)
+
+
+class TestWifiNetwork:
+    def test_invalid_channel(self):
+        with pytest.raises(ConfigurationError):
+            WifiNetwork(channel=3, duty_cycle=0.5)
+
+    def test_invalid_duty(self):
+        with pytest.raises(ConfigurationError):
+            WifiNetwork(channel=1, duty_cycle=1.5)
+
+    def test_overlap_boundaries(self):
+        network = WifiNetwork(channel=6, duty_cycle=0.5)
+        assert network.overlaps(2.437e9)
+        assert network.overlaps(2.430e9)
+        assert not network.overlaps(2.404e9)
+
+
+class TestAffectedChannels:
+    def test_one_network_covers_about_ten(self):
+        affected = affected_data_channels(
+            [WifiNetwork(channel=1, duty_cycle=1.0)]
+        )
+        # ~20 MHz of 2 MHz-wide channels minus the advertising gap.
+        assert 7 <= len(affected) <= 10
+
+    def test_three_networks_leave_channels(self):
+        networks = [
+            WifiNetwork(channel=c, duty_cycle=1.0) for c in (1, 6, 11)
+        ]
+        cm = blacklist_map(networks)
+        assert cm.num_used >= 8
+        for channel in cm.used:
+            assert channel not in affected_data_channels(networks)
+
+
+class TestInterferedModel:
+    def test_no_networks_no_loss(self, base_model):
+        model = InterferedMeasurementModel(base=base_model)
+        obs = model.measure(Point(0.3, 0.3))
+        assert obs.num_bands == 37
+        assert model.expected_loss_fraction() == 0.0
+
+    def test_busy_network_loses_bands(self, base_model):
+        model = InterferedMeasurementModel(
+            base=base_model,
+            networks=[WifiNetwork(channel=6, duty_cycle=0.9)],
+            seed=3,
+        )
+        obs = model.measure(Point(0.3, 0.3))
+        assert obs.num_bands < 37
+        assert obs.num_bands >= 27  # only one 20 MHz block affected
+
+    def test_losses_limited_to_overlap(self, base_model):
+        model = InterferedMeasurementModel(
+            base=base_model,
+            networks=[WifiNetwork(channel=1, duty_cycle=1.0)],
+            seed=4,
+        )
+        obs = model.measure(Point(0.3, 0.3))
+        for frequency in obs.frequencies_hz:
+            assert model.collision_probability(frequency) < 1.0
+
+    def test_saturated_spectrum_raises(self, base_model):
+        networks = [
+            WifiNetwork(channel=c, duty_cycle=1.0) for c in (1, 6, 11)
+        ]
+        model = InterferedMeasurementModel(
+            base=base_model, networks=networks, min_surviving_bands=30
+        )
+        with pytest.raises(MeasurementError):
+            model.measure(Point(0.3, 0.3))
+
+    def test_localization_survives_interference(self, base_model):
+        """The Section 8.6 claim end to end: heavy Wi-Fi on one channel
+        barely moves the fix."""
+        from repro.core import BlocConfig, BlocLocalizer
+
+        localizer = BlocLocalizer(config=BlocConfig(grid_resolution_m=0.08))
+        tag = Point(0.6, 0.4)
+        clean = localizer.locate(
+            base_model.measure(tag, round_index=7), keep_map=False
+        )
+        interfered_model = InterferedMeasurementModel(
+            base=base_model,
+            networks=[WifiNetwork(channel=6, duty_cycle=0.8)],
+            seed=5,
+        )
+        interfered = localizer.locate(
+            interfered_model.measure(tag, round_index=7), keep_map=False
+        )
+        drift = (clean.position - interfered.position).norm()
+        assert drift < 0.6

@@ -1,0 +1,116 @@
+"""Tests for repro.sim.measurement: the two campaign fidelities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ble.channels import ChannelMap
+from repro.sim.measurement import ChannelMeasurementModel, IqMeasurementModel
+from repro.sim.testbed import open_room_testbed
+from repro.utils.geometry2d import Point
+
+
+@pytest.fixture(scope="module")
+def los_testbed_local():
+    return open_room_testbed()
+
+
+class TestChannelFidelity:
+    def test_shapes(self, los_testbed_local):
+        model = ChannelMeasurementModel(testbed=los_testbed_local, seed=1)
+        obs = model.measure(Point(0.4, 0.2))
+        assert obs.tag_to_anchor.shape == (4, 4, 37)
+        assert obs.ground_truth == Point(0.4, 0.2)
+        assert np.all(np.isfinite(obs.tag_to_anchor))
+
+    def test_master_row_empty_in_master_to_anchor(self, los_testbed_local):
+        model = ChannelMeasurementModel(testbed=los_testbed_local, seed=1)
+        obs = model.measure(Point(0.4, 0.2))
+        assert np.allclose(obs.master_to_anchor[obs.master_index], 0.0)
+
+    def test_deterministic(self, los_testbed_local):
+        a = ChannelMeasurementModel(testbed=los_testbed_local, seed=5).measure(
+            Point(0.1, 0.1)
+        )
+        b = ChannelMeasurementModel(testbed=los_testbed_local, seed=5).measure(
+            Point(0.1, 0.1)
+        )
+        assert np.array_equal(a.tag_to_anchor, b.tag_to_anchor)
+
+    def test_round_index_decorrelates(self, los_testbed_local):
+        model = ChannelMeasurementModel(testbed=los_testbed_local, seed=5)
+        a = model.measure(Point(0.1, 0.1), round_index=0)
+        b = model.measure(Point(0.1, 0.1), round_index=1)
+        assert not np.allclose(a.tag_to_anchor, b.tag_to_anchor)
+
+    def test_channel_map_restricts_bands(self, los_testbed_local):
+        model = ChannelMeasurementModel(
+            testbed=los_testbed_local,
+            channel_map=ChannelMap((0, 10, 20)),
+            seed=1,
+        )
+        obs = model.measure(Point(0, 0))
+        assert obs.num_bands == 3
+
+    def test_phase_offsets_garble_raw_channels(self, los_testbed_local):
+        """Raw per-band phase must look random across bands (the paper's
+        Section 5.1 problem)."""
+        model = ChannelMeasurementModel(
+            testbed=los_testbed_local, seed=2, snr_db=60.0
+        )
+        obs = model.measure(Point(0.5, 0.5))
+        increments = np.diff(np.angle(obs.tag_to_anchor[1, 0, :]))
+        wrapped = np.angle(np.exp(1j * increments))
+        assert np.std(wrapped) > 1.0  # near-uniform spread
+
+    def test_calibration_error_fixed_per_deployment(self, los_testbed_local):
+        model = ChannelMeasurementModel(
+            testbed=los_testbed_local, seed=3, calibration_error_m=0.05
+        )
+        first = model._element_positions()
+        second = model._element_positions()
+        assert first is second
+
+
+class TestIqFidelity:
+    def test_produces_observations(self, los_testbed_local):
+        model = IqMeasurementModel(
+            testbed=los_testbed_local,
+            seed=4,
+            snr_db=35.0,
+            channel_map=ChannelMap((3, 18, 33)),
+        )
+        obs = model.measure(Point(0.6, -0.4))
+        assert obs.num_bands == 3
+        assert np.all(np.abs(obs.tag_to_anchor) > 0)
+
+    def test_channels_match_physical_truth(self, los_testbed_local):
+        """IQ-fidelity CSI must agree with the direct channel synthesis
+        (the substitution-validation test promised in DESIGN.md)."""
+        channel_map = ChannelMap((5, 25))
+        iq_model = IqMeasurementModel(
+            testbed=los_testbed_local,
+            seed=6,
+            snr_db=60.0,
+            channel_map=channel_map,
+        )
+        tag = Point(0.8, 0.6)
+        obs = iq_model.measure(tag)
+        simulator = los_testbed_local.channel_simulator
+        for k, frequency in enumerate(obs.frequencies_hz):
+            for i, anchor in enumerate(los_testbed_local.anchors):
+                truth = simulator.channels_to_anchor(
+                    tag, anchor, [frequency]
+                )[:, 0]
+                measured = obs.tag_to_anchor[i, :, k]
+                # Oscillator offsets rotate all antennas of one anchor by
+                # one common phasor: compare ratios.
+                ratio = measured / truth
+                assert np.allclose(
+                    np.abs(ratio), 1.0, atol=0.1
+                ), f"magnitude mismatch at anchor {i}, band {k}"
+                spread = np.std(np.angle(ratio * np.conj(ratio[0])))
+                assert spread < 0.1, (
+                    f"inter-antenna phase mismatch at anchor {i}, band {k}"
+                )

@@ -1,0 +1,117 @@
+"""Tests for repro.sim.runner: the evaluation sweep driver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import LocalizationError
+from repro.sim.dataset import build_dataset
+from repro.sim.runner import evaluate, evaluate_anchor_subsets
+from repro.sim.testbed import open_room_testbed
+from repro.utils.geometry2d import Point
+
+
+class PerfectOracle:
+    """A localizer that returns the ground truth (for runner testing)."""
+
+    def locate(self, observations, keep_map=True):
+        class Result:
+            position = observations.ground_truth
+
+        return Result()
+
+
+class FixedGuess:
+    def __init__(self, point):
+        self._point = point
+
+    def locate(self, observations, keep_map=True):
+        guess = self._point
+
+        class Result:
+            position = guess
+
+        return Result()
+
+
+class AlwaysFails:
+    def locate(self, observations, keep_map=True):
+        raise LocalizationError("nope")
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset(open_room_testbed(), num_positions=5, seed=13)
+
+
+class TestEvaluate:
+    def test_oracle_zero_error(self, dataset):
+        run = evaluate(PerfectOracle(), dataset, label="oracle")
+        assert run.stats().median_m() == 0.0
+        assert run.num_failed == 0
+
+    def test_fixed_guess_errors_match_geometry(self, dataset):
+        guess = Point(0.0, 0.0)
+        run = evaluate(FixedGuess(guess), dataset)
+        for record in run.records:
+            assert record.error_m == pytest.approx(
+                (record.truth - guess).norm()
+            )
+
+    def test_failures_recorded_not_raised(self, dataset):
+        run = evaluate(AlwaysFails(), dataset)
+        assert run.num_failed == len(dataset)
+        stats = run.stats(failure_error_m=7.0)
+        assert stats.median_m() == 7.0
+
+    def test_transform_applied(self, dataset):
+        seen = []
+
+        class Spy:
+            def locate(self, observations, keep_map=True):
+                seen.append(observations.num_antennas)
+
+                class Result:
+                    position = observations.ground_truth
+
+                return Result()
+
+        evaluate(Spy(), dataset, transform=lambda o: o.select_antennas(2))
+        assert set(seen) == {2}
+
+    def test_limit(self, dataset):
+        run = evaluate(PerfectOracle(), dataset, limit=2)
+        assert len(run.records) == 2
+
+    def test_errors_list_matches_records(self, dataset):
+        run = evaluate(FixedGuess(Point(1, 1)), dataset)
+        assert len(run.errors()) == len(run.records)
+
+
+class TestAnchorSubsets:
+    def test_oracle_still_zero(self, dataset):
+        run = evaluate_anchor_subsets(PerfectOracle(), dataset, subset_size=3)
+        assert run.stats().median_m() == 0.0
+
+    def test_subset_sizes_passed_down(self, dataset):
+        sizes = []
+
+        class Spy:
+            def locate(self, observations, keep_map=True):
+                sizes.append(observations.num_anchors)
+
+                class Result:
+                    position = observations.ground_truth
+
+                return Result()
+
+        evaluate_anchor_subsets(Spy(), dataset, subset_size=3, limit=1)
+        # 3 subsets of size 3 containing the master, out of 4 anchors.
+        assert sizes == [3, 3, 3]
+
+    def test_two_anchor_subsets(self, dataset):
+        run = evaluate_anchor_subsets(
+            PerfectOracle(), dataset, subset_size=2, limit=2
+        )
+        assert len(run.records) == 2

@@ -1,0 +1,88 @@
+"""Tests for repro.sim.testbed: the evaluation deployments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.testbed import Testbed as DeployedTestbed
+from repro.sim.testbed import open_room_testbed, vicon_testbed
+from repro.utils.geometry2d import Point
+
+
+class TestViconTestbed:
+    def test_room_dimensions(self):
+        testbed = vicon_testbed()
+        x_min, x_max, y_min, y_max = testbed.environment.bounds()
+        assert (x_max - x_min) == pytest.approx(6.0)
+        assert (y_max - y_min) == pytest.approx(5.0)
+
+    def test_four_anchors_master_first(self):
+        testbed = vicon_testbed()
+        assert len(testbed.anchors) == 4
+        assert testbed.master.name == "AP1"
+
+    def test_clutter_present(self):
+        testbed = vicon_testbed()
+        names = {r.name for r in testbed.environment.reflectors}
+        assert "cupboard" in names
+        assert any(name.startswith("clutter-") for name in names)
+
+    def test_clutter_outside_tag_area(self):
+        """Periphery clutter must not sit inside the sampled tag area
+        (except the deliberate interior rack)."""
+        testbed = vicon_testbed()
+        x_min, x_max, y_min, y_max = testbed.tag_area_bounds()
+        for reflector in testbed.environment.reflectors:
+            if reflector.name == "rack":
+                continue
+            for endpoint in (reflector.segment.a, reflector.segment.b):
+                inside = (
+                    x_min < endpoint.x < x_max
+                    and y_min < endpoint.y < y_max
+                )
+                assert not inside, f"{reflector.name} inside tag area"
+
+    def test_deterministic_given_seed(self):
+        a = vicon_testbed(clutter_seed=3)
+        b = vicon_testbed(clutter_seed=3)
+        segs_a = [(r.segment.a, r.segment.b) for r in a.environment.reflectors]
+        segs_b = [(r.segment.a, r.segment.b) for r in b.environment.reflectors]
+        assert segs_a == segs_b
+
+    def test_antenna_count_parameter(self):
+        testbed = vicon_testbed(num_antennas=3)
+        assert all(a.num_antennas == 3 for a in testbed.anchors)
+
+
+class TestOpenRoom:
+    def test_no_clutter(self):
+        testbed = open_room_testbed()
+        assert testbed.environment.reflectors == []
+
+
+class TestTestbedClass:
+    def test_needs_anchors(self):
+        testbed = open_room_testbed()
+        with pytest.raises(ConfigurationError):
+            DeployedTestbed(environment=testbed.environment, anchors=[])
+
+    def test_master_index_validated(self):
+        testbed = open_room_testbed()
+        with pytest.raises(ConfigurationError):
+            DeployedTestbed(
+                environment=testbed.environment,
+                anchors=testbed.anchors,
+                master_index=9,
+            )
+
+    def test_tag_area_strictly_inside(self):
+        testbed = open_room_testbed()
+        x_min, x_max, y_min, y_max = testbed.tag_area_bounds(0.5)
+        bx_min, bx_max, by_min, by_max = testbed.environment.bounds()
+        assert x_min > bx_min and x_max < bx_max
+        assert y_min > by_min and y_max < by_max
+
+    def test_with_antennas(self):
+        testbed = open_room_testbed().with_antennas(2)
+        assert all(a.num_antennas == 2 for a in testbed.anchors)

@@ -1,0 +1,72 @@
+"""Sanity tests on the protocol and physics constants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import constants
+
+
+class TestPhysics:
+    def test_speed_of_light(self):
+        assert constants.SPEED_OF_LIGHT == pytest.approx(2.998e8, rel=1e-3)
+
+
+class TestSpectrum:
+    def test_channel_grid_spans_the_band(self):
+        span = constants.BLE_BAND_END_HZ - constants.BLE_BAND_START_HZ
+        assert span == pytest.approx(
+            (constants.BLE_NUM_CHANNELS - 1) * constants.BLE_CHANNEL_WIDTH_HZ
+        )
+
+    def test_37_data_channels_is_prime(self):
+        n = constants.BLE_NUM_DATA_CHANNELS
+        assert n == 37
+        assert all(n % k for k in range(2, int(n**0.5) + 1))
+
+    def test_channel_partition(self):
+        assert (
+            constants.BLE_NUM_DATA_CHANNELS
+            + len(constants.BLE_ADVERTISING_CHANNELS)
+            == constants.BLE_NUM_CHANNELS
+        )
+
+    def test_total_span(self):
+        assert constants.BLE_TOTAL_SPAN_HZ == pytest.approx(80e6)
+
+
+class TestPhy:
+    def test_deviation_from_modulation_index(self):
+        assert constants.BLE_FREQ_DEVIATION_HZ == pytest.approx(
+            constants.BLE_MODULATION_INDEX * constants.BLE_SYMBOL_RATE / 2
+        )
+
+    def test_deviation_is_quarter_mhz(self):
+        assert constants.BLE_FREQ_DEVIATION_HZ == pytest.approx(250e3)
+
+    def test_crc_polynomial_bits(self):
+        # x^24 + x^10 + x^9 + x^6 + x^4 + x^3 + x + 1 (x^24 implicit).
+        expected = (
+            (1 << 10) | (1 << 9) | (1 << 6) | (1 << 4) | (1 << 3)
+            | (1 << 1) | 1
+        )
+        assert constants.BLE_CRC_POLYNOMIAL == expected
+
+
+class TestBlocParameters:
+    def test_paper_score_weights(self):
+        assert constants.BLOC_SCORE_DISTANCE_WEIGHT == 0.1
+        assert constants.BLOC_SCORE_ENTROPY_WEIGHT == 0.05
+
+    def test_entropy_window_is_seven(self):
+        assert constants.BLOC_ENTROPY_WINDOW == 7
+
+    def test_room_dimensions(self):
+        assert constants.BLOC_ROOM_WIDTH_M == 6.0
+        assert constants.BLOC_ROOM_HEIGHT_M == 5.0
+
+    def test_tone_dwell_is_8us(self):
+        assert constants.BLOC_TONE_DWELL_S == pytest.approx(8e-6)
+
+    def test_dataset_size_matches_paper(self):
+        assert constants.BLOC_DATASET_SIZE == 1700

@@ -1,0 +1,78 @@
+"""Tests for repro.utils.validation argument checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import (
+    check_finite,
+    check_in_range,
+    check_index,
+    check_non_negative,
+    check_positive,
+    check_shape,
+)
+
+
+class TestScalars:
+    def test_positive_accepts(self):
+        assert check_positive("x", 2) == 2.0
+
+    @pytest.mark.parametrize("bad", [0, -1, float("nan"), float("inf")])
+    def test_positive_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            check_positive("x", bad)
+
+    def test_non_negative_accepts_zero(self):
+        assert check_non_negative("x", 0) == 0.0
+
+    def test_non_negative_rejects(self):
+        with pytest.raises(ConfigurationError):
+            check_non_negative("x", -0.1)
+
+    def test_in_range_inclusive(self):
+        assert check_in_range("x", 1, 1, 2) == 1.0
+        assert check_in_range("x", 2, 1, 2) == 2.0
+
+    def test_in_range_rejects(self):
+        with pytest.raises(ConfigurationError):
+            check_in_range("x", 2.1, 1, 2)
+
+    def test_error_message_names_argument(self):
+        with pytest.raises(ConfigurationError, match="snr"):
+            check_positive("snr", -3)
+
+
+class TestIndex:
+    def test_valid(self):
+        assert check_index("i", 3, 5) == 3
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            check_index("i", 5, 5)
+
+    def test_rejects_fractional(self):
+        with pytest.raises(ConfigurationError):
+            check_index("i", 1.5, 5)
+
+
+class TestArrays:
+    def test_finite_accepts(self):
+        arr = check_finite("a", [1.0, 2.0])
+        assert arr.shape == (2,)
+
+    def test_finite_rejects_nan(self):
+        with pytest.raises(ConfigurationError):
+            check_finite("a", [1.0, float("nan")])
+
+    def test_shape_exact(self):
+        check_shape("a", np.zeros((2, 3)), (2, 3))
+
+    def test_shape_wildcard(self):
+        check_shape("a", np.zeros((7, 3)), (None, 3))
+
+    def test_shape_rejects(self):
+        with pytest.raises(ConfigurationError):
+            check_shape("a", np.zeros((2, 2)), (2, 3))

@@ -1,0 +1,71 @@
+"""Tests for repro.viz: ASCII map rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.testbed import vicon_testbed
+from repro.utils.geometry2d import Point
+from repro.utils.gridmap import Grid2D
+from repro.viz import render_map, render_testbed
+
+
+@pytest.fixture()
+def grid():
+    return Grid2D(0.0, 4.0, 0.0, 2.0, 0.1)
+
+
+class TestRenderMap:
+    def test_dimensions(self, grid):
+        art = render_map(np.zeros(grid.shape), grid, width=40)
+        lines = art.splitlines()
+        assert len(lines[0]) == 42  # border + 40 + border
+        assert lines[0].startswith("+")
+        assert all(line.startswith(("|", "+")) for line in lines)
+
+    def test_peak_rendered_bright(self, grid):
+        values = np.zeros(grid.shape)
+        row, col = grid.index_of(Point(2.0, 1.0))
+        values[row - 1:row + 2, col - 1:col + 2] = 1.0
+        art = render_map(values, grid, width=40)
+        assert "@" in art
+
+    def test_marker_drawn(self, grid):
+        art = render_map(
+            np.zeros(grid.shape), grid, width=40,
+            markers=[(Point(2.0, 1.0), "X")],
+        )
+        assert "X" in art
+
+    def test_marker_outside_ignored(self, grid):
+        art = render_map(
+            np.zeros(grid.shape), grid, width=40,
+            markers=[(Point(99.0, 99.0), "X")],
+        )
+        assert "X" not in art
+
+    def test_north_at_top(self, grid):
+        values = np.zeros(grid.shape)
+        values[grid.index_of(Point(2.0, 1.9))] = 1.0  # high y
+        art = render_map(values, grid, width=40)
+        lines = art.splitlines()[1:-1]
+        bright_rows = [k for k, line in enumerate(lines) if "@" in line]
+        assert bright_rows and bright_rows[0] < len(lines) / 2
+
+    def test_shape_mismatch(self, grid):
+        with pytest.raises(ConfigurationError):
+            render_map(np.zeros((2, 2)), grid)
+
+    def test_width_validation(self, grid):
+        with pytest.raises(ConfigurationError):
+            render_map(np.zeros(grid.shape), grid, width=4)
+
+
+class TestRenderTestbed:
+    def test_contains_anchors_and_clutter(self):
+        art = render_testbed(vicon_testbed())
+        assert "M" in art  # master
+        assert art.count("A") >= 3  # the other anchors
+        assert "#" in art  # reflectors
