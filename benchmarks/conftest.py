@@ -12,7 +12,49 @@ Scale knobs: ``REPRO_EVAL_POINTS`` (default 60, paper scale 1700) and
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+
+def pytest_configure(config):
+    """Opt-in stage-level tracing for benchmark runs.
+
+    Setting ``REPRO_BENCH_TRACE`` (to a path, or to ``1`` for summary
+    only) installs a live observer for the whole pytest session; at
+    session end the per-stage span timing breakdown is printed and, when
+    the value looks like a path, the full NDJSON export is written there.
+    Unset (the default) nothing is installed and the benchmarks run with
+    the zero-overhead no-op observer.
+    """
+    target = os.environ.get("REPRO_BENCH_TRACE")
+    if not target:
+        return
+    from repro.obs import Observability, install
+
+    observer = Observability(enabled=True).preregister()
+    config._repro_observer = observer
+    config._repro_trace_path = target if target != "1" else None
+    install(observer)
+
+
+def pytest_unconfigure(config):
+    observer = getattr(config, "_repro_observer", None)
+    if observer is None:
+        return
+    import sys
+
+    from repro.obs import export_ndjson, install, summary
+
+    install(None)
+    path = config._repro_trace_path
+    if path:
+        export_ndjson(path, observer)
+        sys.__stdout__.write(f"\n[obs] NDJSON trace written to {path}\n")
+    sys.__stdout__.write(
+        "\n[obs] benchmark stage breakdown\n" + summary(observer) + "\n"
+    )
+    sys.__stdout__.flush()
 
 
 def pytest_report_header(config):

@@ -27,7 +27,42 @@ from repro.ble.throughput import throughput_with_localization
 from repro.viz import render_map, render_testbed
 
 
+def _maybe_observed(args, body) -> int:
+    """Run ``body`` under observability when --trace/--metrics ask for it.
+
+    With ``--trace PATH`` the run's spans and metrics are exported as
+    NDJSON to PATH; with either flag the span-timing and metrics summary
+    tables are printed after the command output.
+    """
+    trace_path = getattr(args, "trace", None)
+    want_metrics = getattr(args, "metrics", False)
+    if not trace_path and not want_metrics:
+        return body()
+    from pathlib import Path
+
+    from repro.obs import export_ndjson, observed, summary
+
+    if trace_path and not Path(trace_path).parent.is_dir():
+        print(
+            f"error: --trace directory does not exist: "
+            f"{Path(trace_path).parent}",
+            file=sys.stderr,
+        )
+        return 2
+    with observed() as obs:
+        status = body()
+    if trace_path:
+        lines = export_ndjson(trace_path, obs, command=args.command)
+        print(f"[obs] wrote {lines} NDJSON lines to {trace_path}")
+    print(summary(obs))
+    return status
+
+
 def cmd_demo(args) -> int:
+    return _maybe_observed(args, lambda: _run_demo(args))
+
+
+def _run_demo(args) -> int:
     testbed = vicon_testbed()
     model = ChannelMeasurementModel(testbed=testbed, seed=args.seed)
     tag = Point(args.x, args.y)
@@ -50,6 +85,10 @@ def cmd_demo(args) -> int:
 
 
 def cmd_evaluate(args) -> int:
+    return _maybe_observed(args, lambda: _run_evaluate(args))
+
+
+def _run_evaluate(args) -> int:
     testbed = vicon_testbed()
     dataset = build_dataset(testbed, num_positions=args.num, seed=args.seed)
     schemes = {
@@ -91,15 +130,30 @@ def main(argv=None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_obs_flags(command):
+        command.add_argument(
+            "--trace",
+            metavar="PATH",
+            default=None,
+            help="export spans + metrics of the run as NDJSON to PATH",
+        )
+        command.add_argument(
+            "--metrics",
+            action="store_true",
+            help="print the span-timing and metrics summary tables",
+        )
+
     demo = sub.add_parser("demo", help="localize one simulated tag")
     demo.add_argument("-x", type=float, default=0.8)
     demo.add_argument("-y", type=float, default=0.4)
     demo.add_argument("--seed", type=int, default=42)
+    add_obs_flags(demo)
     demo.set_defaults(func=cmd_demo)
 
     ev = sub.add_parser("evaluate", help="compare schemes over a dataset")
     ev.add_argument("-n", "--num", type=int, default=30)
     ev.add_argument("--seed", type=int, default=2018)
+    add_obs_flags(ev)
     ev.set_defaults(func=cmd_evaluate)
 
     plan = sub.add_parser("floorplan", help="render the default testbed")

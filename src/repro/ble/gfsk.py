@@ -24,6 +24,7 @@ from repro.constants import (
     BLE_SYMBOL_RATE,
 )
 from repro.errors import ConfigurationError, DemodulationError
+from repro.obs import STANDARD_METRICS, get_observer
 
 
 def gaussian_pulse(
@@ -189,6 +190,26 @@ class GfskDemodulator:
         lo = sps // 4
         hi = sps - lo
         midspan = per_symbol[:, lo:hi].mean(axis=1)
+        observer = get_observer()
+        if observer.enabled:
+            # Decision-level SNR estimate: mean squared decision value vs
+            # in-symbol scatter around it.  A clean loopback saturates the
+            # top bucket; interference/noise drags it down long before the
+            # hard decisions start flipping.
+            signal_power = float(np.mean(midspan**2))
+            noise_power = float(
+                np.mean((per_symbol[:, lo:hi] - midspan[:, None]) ** 2)
+            )
+            if signal_power <= 0.0:
+                snr_db = -60.0
+            else:
+                snr_db = 10.0 * math.log10(
+                    signal_power / max(noise_power, 1e-12 * signal_power)
+                )
+            observer.metrics.histogram(
+                "ble.demod_snr_db", STANDARD_METRICS["ble.demod_snr_db"][1]
+            ).observe(snr_db)
+            observer.metrics.counter("ble.demod_symbols").inc(num_bits)
         return (midspan > 0).astype(np.uint8)
 
 

@@ -18,12 +18,18 @@ from dataclasses import dataclass, field
 from typing import Iterator, List, Optional
 
 from repro.constants import BLE_NUM_DATA_CHANNELS
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, CrcError
 from repro.ble.access_address import random_access_address
 from repro.ble.channels import ChannelMap, data_channel_to_frequency
 from repro.ble.hopping import HopSequence
 from repro.ble.localization import localization_pdu
-from repro.ble.pdu import DataPdu, OnAirPacket, assemble_packet
+from repro.ble.pdu import (
+    DataPdu,
+    OnAirPacket,
+    assemble_packet,
+    disassemble_packet,
+)
+from repro.obs import get_observer
 from repro.utils.rng import RngLike, make_rng
 
 #: Default connection interval [s].  BLE allows 7.5 ms .. 4 s; the paper
@@ -120,6 +126,34 @@ class Connection:
         self._hops.advance()
         self._event_index += 1
         return event
+
+    def receive(self, bits, data_channel: int) -> OnAirPacket:
+        """Parse and CRC-check received on-air bits for this connection.
+
+        The connection-follower's receive path: bits demodulated on a data
+        channel are de-whitened with the channel index and checked against
+        the connection's CRC init.  Packet and CRC-failure totals feed the
+        ``ble.packets_received`` / ``ble.crc_failures`` counters when
+        observability is enabled.
+
+        Raises:
+            CrcError: when the CRC check fails (still counted).
+            ProtocolError: on framing errors.
+        """
+        observer = get_observer()
+        if observer.enabled:
+            observer.metrics.counter("ble.packets_received").inc()
+        try:
+            return disassemble_packet(
+                bits,
+                channel_index=data_channel,
+                crc_init=self.crc_init,
+                whitening_enabled=self.whitening_enabled,
+            )
+        except CrcError:
+            if observer.enabled:
+                observer.metrics.counter("ble.crc_failures").inc()
+            raise
 
     def events(self, count: int) -> Iterator[ConnectionEvent]:
         """Yield the next ``count`` connection events."""

@@ -22,6 +22,7 @@ from typing import List
 import numpy as np
 
 from repro.core.observations import ChannelObservations
+from repro.obs import STANDARD_METRICS, get_observer
 from repro.rf.antenna import Anchor
 from repro.utils.geometry2d import Point, distance
 
@@ -107,6 +108,9 @@ def correct_phase_offsets(
         else:
             hi0 = master[i, 0, :]  # master ant0 -> slave ant0, shape (K,)
             alpha[i] = tag[i] * np.conj(hi0)[None, :] * np.conj(h00)[None, :]
+    observer = get_observer()
+    if observer.enabled:
+        _record_correction_metrics(observer, tag, alpha)
     return CorrectedChannels(
         anchors=list(observations.anchors),
         master_index=m,
@@ -114,6 +118,47 @@ def correct_phase_offsets(
         alpha=alpha,
         anchor_baselines_m=anchor_baselines(observations.anchors, m),
     )
+
+
+def _record_correction_metrics(observer, tag: np.ndarray, alpha: np.ndarray):
+    """Per-hop diagnostics for Eq. 10 (only runs when observability is on).
+
+    * ``correction.hop_coverage`` -- fraction of (anchor, hop) cells with
+      a usable (finite, non-zero) tag measurement; a hop the sweep never
+      visited, or an anchor that lost the packet, shows up here.
+    * ``correction.residual_phase_rad`` -- per-hop RMS deviation of the
+      corrected cross-band phase from its per-(anchor, antenna) linear
+      trend.  The paper's Fig. 8b shows this trend must be "clearly
+      linear"; a drifting oscillator or broken correction inflates the
+      residual long before the final error budget notices.
+    """
+    num_bands = tag.shape[2]
+    usable = np.isfinite(tag).all(axis=1) & (np.abs(tag).sum(axis=1) > 0)
+    coverage = float(np.mean(usable))
+    metrics = observer.metrics
+    metrics.gauge("correction.hop_coverage").set(coverage)
+    metrics.counter("correction.hops_total").inc(num_bands)
+    missing_hops = int(np.sum(~usable.all(axis=0)))
+    if missing_hops:
+        metrics.counter("correction.hops_missing").inc(missing_hops)
+    if num_bands >= 3:
+        phase = np.unwrap(np.angle(alpha), axis=2)  # (I, J, K)
+        x = np.arange(num_bands, dtype=float)
+        x = x - x.mean()
+        denom = float(np.sum(x**2))
+        flat = phase.reshape(-1, num_bands)
+        slopes = flat @ x / denom
+        fitted = slopes[:, None] * x[None, :] + flat.mean(
+            axis=1, keepdims=True
+        )
+        residual = flat - fitted  # (I*J, K)
+        per_hop_rms = np.sqrt(np.mean(residual**2, axis=0))
+        histogram = metrics.histogram(
+            "correction.residual_phase_rad",
+            STANDARD_METRICS["correction.residual_phase_rad"][1],
+        )
+        for value in per_hop_rms:
+            histogram.observe(float(value))
 
 
 def residual_offset_spread(

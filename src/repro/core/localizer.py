@@ -25,6 +25,7 @@ from repro.core.observations import ChannelObservations
 from repro.core.peaks import Peak, PeakConfig, find_peaks, refine_peak_position
 from repro.core.scoring import ScoredPeak, ScoringConfig, score_peaks
 from repro.errors import ConfigurationError, LocalizationError
+from repro.obs import get_observer
 from repro.utils.gridmap import Grid2D
 from repro.utils.geometry2d import Point
 
@@ -130,14 +131,19 @@ class BlocLocalizer:
         corrected: CorrectedChannels,
     ) -> List[ScoredPeak]:
         """Stage 3: find and rank candidate peaks by the active strategy."""
-        peaks = find_peaks(likelihood.combined, likelihood.grid, self.config.peak)
-        scored = score_peaks(
-            peaks,
-            likelihood.combined,
-            likelihood.grid,
-            corrected.anchors,
-            self.config.scoring,
-        )
+        observer = get_observer()
+        with observer.span("find_peaks"):
+            peaks = find_peaks(
+                likelihood.combined, likelihood.grid, self.config.peak
+            )
+        with observer.span("score_peaks"):
+            scored = score_peaks(
+                peaks,
+                likelihood.combined,
+                likelihood.grid,
+                corrected.anchors,
+                self.config.scoring,
+            )
         if self.config.selection == "shortest":
             scored = sorted(scored, key=lambda s: s.distance_sum_m)
         elif self.config.selection == "max_likelihood":
@@ -154,16 +160,21 @@ class BlocLocalizer:
         Raises:
             LocalizationError: when the likelihood map is degenerate.
         """
-        corrected = self.correct(observations)
+        observer = get_observer()
+        with observer.span("correct"):
+            corrected = self.correct(observations)
         grid = self.grid_for(observations)
-        likelihood = self.map_likelihood(corrected, grid)
-        scored = self.pick_peak(likelihood, corrected)
+        with observer.span("map_likelihood"):
+            likelihood = self.map_likelihood(corrected, grid)
+        with observer.span("pick_peak"):
+            scored = self.pick_peak(likelihood, corrected)
         winner = scored[0]
         position = winner.peak.position
         if self.config.refine_peaks:
-            position = refine_peak_position(
-                likelihood.combined, grid, winner.peak
-            )
+            with observer.span("refine"):
+                position = refine_peak_position(
+                    likelihood.combined, grid, winner.peak
+                )
         return LocalizationResult(
             position=position,
             scored_peaks=scored,

@@ -16,6 +16,7 @@ import numpy as np
 from scipy import ndimage
 
 from repro.errors import ConfigurationError, LocalizationError
+from repro.obs import COUNT_BUCKETS, get_observer
 from repro.utils.geometry2d import Point
 from repro.utils.gridmap import Grid2D
 
@@ -111,6 +112,14 @@ def find_peaks(
         )
         if len(selected) >= config.max_peaks:
             break
+    observer = get_observer()
+    if observer.enabled:
+        observer.metrics.histogram(
+            "peaks.raw_candidates", COUNT_BUCKETS
+        ).observe(len(rows))
+        observer.metrics.histogram(
+            "peaks.candidates", COUNT_BUCKETS
+        ).observe(len(selected))
     if not selected:
         raise LocalizationError("no peaks cleared the detection threshold")
     return selected

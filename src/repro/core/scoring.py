@@ -28,6 +28,7 @@ from repro.constants import (
 from repro.core.entropy import peak_neighborhood_entropy
 from repro.core.peaks import Peak
 from repro.errors import ConfigurationError, LocalizationError
+from repro.obs import STANDARD_METRICS, get_observer
 from repro.rf.antenna import Anchor
 from repro.utils.gridmap import Grid2D
 
@@ -101,6 +102,18 @@ def score_peaks(
             )
         )
     scored.sort(key=lambda s: s.score, reverse=True)
+    observer = get_observer()
+    if observer.enabled and scored[0].score > 0:
+        # Relative margin between the Eq. 18 winner and the runner-up: a
+        # margin near 0 means the direct-path decision was a coin flip.
+        margin = (
+            (scored[0].score - scored[1].score) / scored[0].score
+            if len(scored) > 1
+            else 1.0
+        )
+        observer.metrics.histogram(
+            "peaks.score_margin", STANDARD_METRICS["peaks.score_margin"][1]
+        ).observe(margin)
     return scored
 
 

@@ -1,0 +1,64 @@
+"""repro.obs: pipeline observability (spans, metrics, exporters).
+
+The BLoc pipeline is instrumented with nested timing spans and a metrics
+registry so a regression in any figure can be attributed to a stage:
+
+    from repro.obs import observed, export_ndjson, summary
+
+    with observed() as obs:
+        run = evaluate(BlocLocalizer(), dataset)
+    export_ndjson("run.ndjson", obs)
+    print(summary(obs))
+
+By default observability is *disabled*: the instrumented code paths go
+through a no-op observer whose cost is a couple of attribute reads per
+``locate`` call, so timing-sensitive tests and benchmarks are unaffected
+unless a caller opts in.
+"""
+
+from repro.obs.context import (
+    Observability,
+    STANDARD_METRICS,
+    get_observer,
+    install,
+    observed,
+    traced,
+)
+from repro.obs.export import (
+    export_ndjson,
+    load_ndjson,
+    metrics_summary,
+    span_summary,
+    summary,
+)
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS_S,
+    MetricsRegistry,
+)
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS_S",
+    "MetricsRegistry",
+    "Observability",
+    "STANDARD_METRICS",
+    "Span",
+    "Tracer",
+    "export_ndjson",
+    "get_observer",
+    "install",
+    "load_ndjson",
+    "metrics_summary",
+    "observed",
+    "span_summary",
+    "summary",
+    "traced",
+]

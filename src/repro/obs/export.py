@@ -1,0 +1,210 @@
+"""Exporters: NDJSON dumps and human-readable summary tables.
+
+NDJSON schema (one JSON object per line, strict JSON -- no NaN/Inf):
+
+* ``{"type": "meta", "format": "repro-obs", "version": 1, ...}`` --
+  always the first line.
+* ``{"type": "span", "name", "span_id", "parent_id", "depth",
+  "start_s", "duration_s", "status", "thread", "attributes"}`` -- one
+  per finished span, completion order.
+* counter / gauge / histogram lines exactly as produced by
+  :meth:`repro.obs.metrics.MetricsRegistry.snapshot` (histograms carry
+  ``count/sum/min/max/mean/p50/p95`` plus the full ``le`` bucket list).
+
+The summary tables are what ``repro evaluate --metrics`` and the
+benchmark hook print: per-span-name timing percentiles (computed from
+the raw span durations, not bucket estimates) and one line per
+instrument.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+import numpy as np
+
+from repro.obs.context import Observability
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span
+
+NDJSON_FORMAT = "repro-obs"
+NDJSON_VERSION = 1
+
+
+def _json_safe(value):
+    """Make a value strict-JSON serialisable (NaN/Inf become None/str)."""
+    if isinstance(value, (bool, int, str)) or value is None:
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        v = float(value)
+        return v if math.isfinite(v) else None
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return str(value)
+
+
+def span_record(span: Span) -> dict:
+    """The NDJSON dict for one finished span."""
+    return {
+        "type": "span",
+        "name": span.name,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "depth": span.depth,
+        "start_s": _json_safe(span.start_s),
+        "duration_s": _json_safe(span.duration_s),
+        "status": span.status,
+        "thread": span.thread,
+        "attributes": _json_safe(span.attributes),
+    }
+
+
+def export_ndjson(
+    path: Union[str, Path], observer: Observability, **meta
+) -> int:
+    """Write an observer's spans and metrics to an NDJSON file.
+
+    Returns:
+        The number of lines written (including the leading meta line).
+    """
+    spans = observer.tracer.finished()
+    metric_lines = observer.metrics.snapshot()
+    records: List[dict] = [
+        {
+            "type": "meta",
+            "format": NDJSON_FORMAT,
+            "version": NDJSON_VERSION,
+            "num_spans": len(spans),
+            "num_metrics": len(metric_lines),
+            **_json_safe(meta),
+        }
+    ]
+    records.extend(span_record(s) for s in spans)
+    records.extend(_json_safe(m) for m in metric_lines)
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps(record, allow_nan=False) + "\n")
+    return len(records)
+
+
+def load_ndjson(path: Union[str, Path]) -> List[dict]:
+    """Parse an NDJSON export back into a list of dicts.
+
+    Raises:
+        ValueError: on a malformed file (bad JSON or missing meta line).
+    """
+    records = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line_number, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: not valid JSON: {exc}"
+                ) from exc
+    if not records or records[0].get("type") != "meta":
+        raise ValueError(f"{path}: missing leading meta record")
+    return records
+
+
+def _format_table(headers: Sequence[str], rows: List[Sequence[str]]) -> str:
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    def fmt(cells):
+        return "  ".join(
+            str(c).ljust(w) if i == 0 else str(c).rjust(w)
+            for i, (c, w) in enumerate(zip(cells, widths))
+        )
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(r) for r in rows)
+    return "\n".join(lines)
+
+
+def span_summary(spans: Sequence[Span]) -> str:
+    """Per-span-name timing table (count, total, mean, p50, p95 in ms)."""
+    if not spans:
+        return "(no spans recorded)"
+    by_name: Dict[str, List[float]] = {}
+    order: List[str] = []
+    for span in spans:
+        if span.name not in by_name:
+            by_name[span.name] = []
+            order.append(span.name)
+        if math.isfinite(span.duration_s):
+            by_name[span.name].append(span.duration_s)
+    rows = []
+    for name in order:
+        durations = np.array(by_name[name]) * 1e3
+        if durations.size == 0:
+            continue
+        rows.append(
+            [
+                name,
+                str(durations.size),
+                f"{durations.sum():.2f}",
+                f"{durations.mean():.3f}",
+                f"{np.percentile(durations, 50):.3f}",
+                f"{np.percentile(durations, 95):.3f}",
+            ]
+        )
+    return _format_table(
+        ["span", "count", "total ms", "mean ms", "p50 ms", "p95 ms"], rows
+    )
+
+
+def metrics_summary(registry: MetricsRegistry) -> str:
+    """One line per instrument; histograms show count/mean/p50/p95."""
+    instruments = registry.instruments()
+    if not instruments:
+        return "(no metrics recorded)"
+    rows = []
+    for inst in instruments:
+        if inst.kind == "counter":
+            rows.append([inst.name, "counter", f"{inst.value:g}", "", "", ""])
+        elif inst.kind == "gauge":
+            shown = "nan" if math.isnan(inst.value) else f"{inst.value:.4g}"
+            rows.append([inst.name, "gauge", shown, "", "", ""])
+        else:
+            if inst.count:
+                rows.append(
+                    [
+                        inst.name,
+                        "histogram",
+                        str(inst.count),
+                        f"{inst.mean():.4g}",
+                        f"{inst.percentile(50):.4g}",
+                        f"{inst.percentile(95):.4g}",
+                    ]
+                )
+            else:
+                rows.append([inst.name, "histogram", "0", "-", "-", "-"])
+    return _format_table(
+        ["metric", "kind", "value/count", "mean", "p50", "p95"], rows
+    )
+
+
+def summary(observer: Observability) -> str:
+    """Combined span + metrics report for one observed run."""
+    parts = [
+        "== span timings ==",
+        span_summary(observer.tracer.finished()),
+        "",
+        "== metrics ==",
+        metrics_summary(observer.metrics),
+    ]
+    return "\n".join(parts)

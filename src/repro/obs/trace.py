@@ -1,0 +1,150 @@
+"""Timing spans: nested, thread-aware wall-clock tracing.
+
+A :class:`Span` covers one pipeline stage (``correct``,
+``map_likelihood``, ...); spans nest via a per-thread active-span stack
+kept by the :class:`Tracer`, so a ``locate`` span naturally becomes the
+parent of the four stage spans it encloses.  Finished spans are collected
+in completion order (children finish before their parents) and can be
+exported as NDJSON by :mod:`repro.obs.export`.
+
+The tracer never touches the traced computation: entering a span reads a
+clock and pushes a frame, exiting reads the clock again and pops.  When
+observability is disabled the pipeline uses a shared no-op context
+manager instead (see :mod:`repro.obs.context`) and this module is never
+exercised at all.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+
+@dataclass
+class Span:
+    """One timed, possibly nested, unit of work.
+
+    Attributes:
+        name: stage name (``correct``, ``fix``, ...).
+        span_id: unique id within the owning tracer.
+        parent_id: id of the enclosing span, or None for roots.
+        depth: nesting depth (0 for roots).
+        start_s: clock reading at entry.
+        end_s: clock reading at exit (NaN while still open).
+        attributes: free-form key/value annotations.
+        status: ``"ok"`` or ``"error:<ExceptionType>"`` when the body
+            raised.
+        thread: name of the thread that ran the span.
+    """
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    depth: int
+    start_s: float
+    end_s: float = float("nan")
+    attributes: Dict[str, Any] = field(default_factory=dict)
+    status: str = "open"
+    thread: str = ""
+
+    @property
+    def duration_s(self) -> float:
+        """Wall-clock duration [s] (NaN while the span is open)."""
+        return self.end_s - self.start_s
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach annotations; returns self for chaining."""
+        self.attributes.update(attributes)
+        return self
+
+
+class _SpanContext:
+    """Context manager guarding one span's enter/exit bookkeeping."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self._span
+        span.status = "ok" if exc_type is None else f"error:{exc_type.__name__}"
+        self._tracer._finish(span)
+        return False
+
+
+class Tracer:
+    """Collects spans with a thread-local active-span stack.
+
+    Attributes:
+        clock: monotonic time source (injectable for tests).
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self.clock = clock
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._finished: List[Span] = []
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def span(self, name: str, **attributes: Any) -> _SpanContext:
+        """Open a span as a child of the current thread's active span."""
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        span = Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=parent.span_id if parent else None,
+            depth=len(stack),
+            start_s=self.clock(),
+            attributes=dict(attributes),
+            thread=threading.current_thread().name,
+        )
+        stack.append(span)
+        return _SpanContext(self, span)
+
+    def _finish(self, span: Span) -> None:
+        span.end_s = self.clock()
+        stack = self._stack()
+        # The finished span is the innermost open one unless the caller
+        # misuses the context managers; popping by identity stays correct
+        # even then.
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:
+            stack.remove(span)
+        with self._lock:
+            self._finished.append(span)
+
+    def active(self) -> Optional[Span]:
+        """The current thread's innermost open span."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def finished(self) -> List[Span]:
+        """Snapshot of all completed spans, completion order."""
+        with self._lock:
+            return list(self._finished)
+
+    def reset(self) -> None:
+        """Drop every collected span (open spans are unaffected)."""
+        with self._lock:
+            self._finished.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._finished)

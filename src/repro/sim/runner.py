@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.core.observations import ChannelObservations
 from repro.errors import LocalizationError
+from repro.obs import LATENCY_BUCKETS_S, get_observer
 from repro.sim.dataset import EvaluationDataset
 from repro.sim.metrics import ErrorStats
 from repro.utils.geometry2d import Point
@@ -36,11 +37,14 @@ class EvaluationRecord:
         truth: ground-truth tag position.
         estimate: the localizer's estimate (None when it failed).
         error_m: Euclidean error (infinite when the fix failed).
+        failure_reason: the localizer's error message when the fix
+            failed, None otherwise.
     """
 
     truth: Point
     estimate: Optional[Point]
     error_m: float
+    failure_reason: Optional[str] = None
 
 
 @dataclass
@@ -57,8 +61,17 @@ class EvaluationRun:
 
     @property
     def num_failed(self) -> int:
-        """Count of fixes where the localizer raised."""
-        return sum(1 for r in self.records if r.estimate is None)
+        """Count of fixes that produced no error (the localizer raised).
+
+        Keyed on the error being non-finite rather than the estimate
+        being absent: anchor-subset records aggregate several sub-fixes
+        and may carry a finite mean error without any single estimate.
+        """
+        return sum(1 for r in self.records if not np.isfinite(r.error_m))
+
+    def failure_reasons(self) -> List[Optional[str]]:
+        """Per-record failure reasons (None for successful fixes)."""
+        return [r.failure_reason for r in self.records]
 
     def stats(self, failure_error_m: float = 10.0) -> ErrorStats:
         """Error statistics; failed fixes count as ``failure_error_m``."""
@@ -104,20 +117,38 @@ def evaluate(
     produce a fix is a (bad) data point, not a crash.
     """
     run = EvaluationRun(label=label)
+    observer = get_observer()
     entries = dataset.observations[:limit] if limit else dataset.observations
-    for observations in entries:
+    for fix_index, observations in enumerate(entries):
         if transform is not None:
             observations = transform(observations)
         truth = observations.ground_truth
-        try:
-            result = localizer.locate(observations, keep_map=False)
-            estimate = result.position
-            error = (estimate - truth).norm()
-        except LocalizationError:
-            estimate = None
-            error = float("inf")
+        failure_reason = None
+        with observer.span("fix", index=fix_index, label=label) as span:
+            try:
+                result = localizer.locate(observations, keep_map=False)
+                estimate = result.position
+                error = (estimate - truth).norm()
+            except LocalizationError as exc:
+                estimate = None
+                error = float("inf")
+                failure_reason = str(exc)
+                if observer.enabled:
+                    observer.metrics.counter(
+                        f"eval.failures.{type(exc).__name__}"
+                    ).inc()
+        if observer.enabled:
+            observer.metrics.counter("eval.fixes_total").inc()
+            observer.metrics.histogram(
+                "eval.fix_latency_s", LATENCY_BUCKETS_S
+            ).observe(span.duration_s)
         run.records.append(
-            EvaluationRecord(truth=truth, estimate=estimate, error_m=error)
+            EvaluationRecord(
+                truth=truth,
+                estimate=estimate,
+                error_m=error,
+                failure_reason=failure_reason,
+            )
         )
     return run
 
@@ -139,33 +170,49 @@ def evaluate_anchor_subsets(
     from itertools import combinations
 
     run = EvaluationRun(label=label)
+    observer = get_observer()
     entries = dataset.observations[:limit] if limit else dataset.observations
-    for observations in entries:
+    for fix_index, observations in enumerate(entries):
         truth = observations.ground_truth
         master = observations.master_index
         others = [
             i for i in range(observations.num_anchors) if i != master
         ]
-        errors = []
-        estimate = None
-        for chosen in combinations(others, subset_size - 1):
-            subset = observations.select_anchors([master, *chosen])
-            try:
-                result = localizer.locate(subset, keep_map=False)
-                estimate = result.position
-                errors.append((estimate - truth).norm())
-            except LocalizationError:
-                errors.append(float("inf"))
-        mean_error = (
-            float(np.mean([e for e in errors if np.isfinite(e)]))
-            if any(np.isfinite(e) for e in errors)
-            else float("inf")
+        outcomes = []  # (estimate or None, error) per subset
+        failure_reason = None
+        with observer.span(
+            "fix", index=fix_index, label=label, subset_size=subset_size
+        ):
+            for chosen in combinations(others, subset_size - 1):
+                subset = observations.select_anchors([master, *chosen])
+                try:
+                    result = localizer.locate(subset, keep_map=False)
+                    outcomes.append(
+                        (result.position, (result.position - truth).norm())
+                    )
+                except LocalizationError as exc:
+                    outcomes.append((None, float("inf")))
+                    failure_reason = str(exc)
+                    if observer.enabled:
+                        observer.metrics.counter("eval.subset_failures").inc()
+                        observer.metrics.counter(
+                            f"eval.failures.{type(exc).__name__}"
+                        ).inc()
+        finite = [e for _, e in outcomes if np.isfinite(e)]
+        mean_error = float(np.mean(finite)) if finite else float("inf")
+        # The record's error is an aggregate over subsets, so a single
+        # "the" estimate usually does not exist; report one only when a
+        # subset's own error equals the aggregate (e.g. exactly one
+        # subset succeeded), instead of leaking whichever subset ran last.
+        estimate = next(
+            (est for est, err in outcomes if err == mean_error), None
         )
         run.records.append(
             EvaluationRecord(
                 truth=truth,
                 estimate=estimate,
                 error_m=mean_error,
+                failure_reason=None if finite else failure_reason,
             )
         )
     return run

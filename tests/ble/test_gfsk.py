@@ -147,3 +147,32 @@ class TestDemodulator:
         bits = [0, 1, 1, 0, 0, 0, 1, 0, 1, 1] * 4
         iq = mod.modulate(bits)
         assert frequency_error_rms(mod, bits, iq) < 20e3
+
+
+class TestDemodSnrMetric:
+    def test_demod_snr_recorded_when_observed(self):
+        from repro.obs import observed
+
+        modulator = GfskModulator()
+        demod = GfskDemodulator(samples_per_symbol=modulator.samples_per_symbol)
+        bits = np.array([1, 0, 1, 1, 0, 0, 1, 0] * 8, dtype=np.uint8)
+        iq = modulator.modulate(bits)
+        with observed() as obs:
+            recovered = demod.demodulate(iq, bits.size)
+        assert np.array_equal(recovered, bits)
+        snr = obs.metrics.get("ble.demod_snr_db")
+        assert snr.count == 1
+        assert snr.min > 0  # clean loopback: comfortably positive SNR
+        assert obs.metrics.get("ble.demod_symbols").value == bits.size
+
+    def test_demodulate_identical_with_observability(self):
+        from repro.obs import observed
+
+        modulator = GfskModulator()
+        demod = GfskDemodulator(samples_per_symbol=modulator.samples_per_symbol)
+        bits = np.array([0, 1, 1, 0, 1, 0, 0, 1] * 4, dtype=np.uint8)
+        iq = modulator.modulate(bits)
+        plain = demod.demodulate(iq, bits.size)
+        with observed():
+            traced = demod.demodulate(iq, bits.size)
+        assert np.array_equal(plain, traced)

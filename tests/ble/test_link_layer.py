@@ -86,3 +86,36 @@ class TestEstablishConnection:
     def test_kwargs_forwarded(self):
         conn = establish_connection(rng=0, run_length=10)
         assert conn.run_length == 10
+
+
+class TestReceive:
+    def test_roundtrip_own_packet(self):
+        conn = Connection(access_address=0x5A3B9C71)
+        event = conn.next_event()
+        packet = conn.receive(event.master_packet.bits, event.data_channel)
+        assert packet.pdu.payload == event.master_packet.pdu.payload
+
+    def test_corrupted_bits_raise_crc_error(self):
+        from repro.errors import CrcError
+
+        conn = Connection(access_address=0x5A3B9C71)
+        event = conn.next_event()
+        bits = event.master_packet.bits.copy()
+        bits[60] ^= 1  # flip one payload bit
+        with pytest.raises(CrcError):
+            conn.receive(bits, event.data_channel)
+
+    def test_crc_failures_counted(self):
+        from repro.errors import CrcError
+        from repro.obs import observed
+
+        conn = Connection(access_address=0x5A3B9C71)
+        event = conn.next_event()
+        bad = event.master_packet.bits.copy()
+        bad[60] ^= 1
+        with observed() as obs:
+            conn.receive(event.master_packet.bits, event.data_channel)
+            with pytest.raises(CrcError):
+                conn.receive(bad, event.data_channel)
+        assert obs.metrics.get("ble.packets_received").value == 2
+        assert obs.metrics.get("ble.crc_failures").value == 1

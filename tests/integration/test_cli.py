@@ -38,3 +38,56 @@ class TestCli:
         out = capsys.readouterr().out
         assert "error" in out
         assert "T" in out or "E" in out
+
+
+class TestCliObservability:
+    def test_demo_trace_exports_parseable_ndjson(self, capsys, tmp_path):
+        from repro.obs import get_observer, load_ndjson
+
+        path = tmp_path / "demo.ndjson"
+        assert main(["demo", "--trace", str(path)]) == 0
+        records = load_ndjson(path)
+        assert records[0]["type"] == "meta"
+        span_names = {r["name"] for r in records if r["type"] == "span"}
+        assert {
+            "correct", "map_likelihood", "find_peaks", "score_peaks"
+        } <= span_names
+        out = capsys.readouterr().out
+        assert "span timings" in out and "metrics" in out
+        # The observer must be uninstalled again after the command.
+        assert get_observer().enabled is False
+
+    def test_evaluate_trace_and_metrics(self, capsys, tmp_path):
+        from repro.obs import load_ndjson
+
+        path = tmp_path / "eval.ndjson"
+        assert main(
+            ["evaluate", "-n", "2", "--trace", str(path), "--metrics"]
+        ) == 0
+        records = load_ndjson(path)
+        spans = [r for r in records if r["type"] == "span"]
+        fix_ids = {s["span_id"] for s in spans if s["name"] == "fix"}
+        assert fix_ids  # one root span per fix
+        per_fix_children = {
+            s["name"] for s in spans if s["parent_id"] in fix_ids
+        }
+        assert len(per_fix_children) >= 4
+        metric_names = {
+            r["name"] for r in records if r["type"] in (
+                "counter", "gauge", "histogram"
+            )
+        }
+        assert "ble.crc_failures" in metric_names
+        assert "peaks.candidates" in metric_names
+        assert "eval.fix_latency_s" in metric_names
+        out = capsys.readouterr().out
+        assert "ble.crc_failures" in out
+        assert "eval.fix_latency_s" in out
+
+    def test_evaluate_without_flags_stays_unobserved(self, capsys):
+        from repro.obs import get_observer
+
+        assert main(["evaluate", "-n", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "span timings" not in out
+        assert get_observer().enabled is False

@@ -1,0 +1,116 @@
+"""Tests for repro.obs.export: NDJSON schema and summary tables."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Observability,
+    export_ndjson,
+    load_ndjson,
+    metrics_summary,
+    span_summary,
+    summary,
+)
+
+
+@pytest.fixture()
+def observer():
+    obs = Observability(enabled=True)
+    with obs.span("root"):
+        with obs.span("child"):
+            pass
+    obs.metrics.counter("ble.crc_failures").inc(3)
+    obs.metrics.gauge("coverage").set(0.9)
+    hist = obs.metrics.histogram("latency", [0.1, 1.0])
+    hist.observe(0.05)
+    hist.observe(0.5)
+    return obs
+
+
+class TestNdjson:
+    def test_every_line_is_strict_json(self, observer, tmp_path):
+        path = tmp_path / "run.ndjson"
+        lines_written = export_ndjson(path, observer, command="test")
+        raw = path.read_text().splitlines()
+        assert len(raw) == lines_written == 1 + 2 + 3
+        for line in raw:
+            json.loads(line)  # raises on NaN/Inf or malformed output
+
+    def test_meta_line_first(self, observer, tmp_path):
+        path = tmp_path / "run.ndjson"
+        export_ndjson(path, observer, command="test")
+        records = load_ndjson(path)
+        meta = records[0]
+        assert meta["type"] == "meta"
+        assert meta["format"] == "repro-obs"
+        assert meta["version"] == 1
+        assert meta["num_spans"] == 2
+        assert meta["num_metrics"] == 3
+        assert meta["command"] == "test"
+
+    def test_span_schema(self, observer, tmp_path):
+        path = tmp_path / "run.ndjson"
+        export_ndjson(path, observer)
+        spans = [r for r in load_ndjson(path) if r["type"] == "span"]
+        child, root = spans  # completion order
+        for record in spans:
+            for key in (
+                "name", "span_id", "parent_id", "depth",
+                "start_s", "duration_s", "status", "thread", "attributes",
+            ):
+                assert key in record
+        assert child["name"] == "child"
+        assert child["parent_id"] == root["span_id"]
+        assert root["parent_id"] is None
+        assert root["status"] == "ok"
+        assert root["duration_s"] >= child["duration_s"] >= 0
+
+    def test_metric_lines_match_snapshot(self, observer, tmp_path):
+        path = tmp_path / "run.ndjson"
+        export_ndjson(path, observer)
+        records = load_ndjson(path)
+        by_name = {
+            r["name"]: r for r in records if r["type"] != "span" and "name" in r
+        }
+        assert by_name["ble.crc_failures"]["value"] == 3
+        assert by_name["coverage"]["value"] == 0.9
+        hist = by_name["latency"]
+        assert hist["count"] == 2
+        assert [b["le"] for b in hist["buckets"]] == [0.1, 1.0, "inf"]
+        assert [b["count"] for b in hist["buckets"]] == [1, 1, 0]
+        assert hist["p50"] is not None and hist["p95"] is not None
+
+    def test_load_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.ndjson"
+        bad.write_text("not json\n")
+        with pytest.raises(ValueError):
+            load_ndjson(bad)
+        empty = tmp_path / "empty.ndjson"
+        empty.write_text("")
+        with pytest.raises(ValueError):
+            load_ndjson(empty)
+
+
+class TestSummaries:
+    def test_span_summary_groups_by_name(self, observer):
+        table = span_summary(observer.tracer.finished())
+        assert "root" in table and "child" in table
+        assert "p95 ms" in table
+
+    def test_metrics_summary_lists_every_instrument(self, observer):
+        table = metrics_summary(observer.metrics)
+        for name in ("ble.crc_failures", "coverage", "latency"):
+            assert name in table
+
+    def test_combined_summary(self, observer):
+        text = summary(observer)
+        assert "== span timings ==" in text
+        assert "== metrics ==" in text
+
+    def test_empty_observer_summaries(self):
+        obs = Observability(enabled=True)
+        assert "no spans" in span_summary(obs.tracer.finished())
+        assert "no metrics" in metrics_summary(obs.metrics)

@@ -89,6 +89,73 @@ class TestEvaluate:
         assert len(run.errors()) == len(run.records)
 
 
+class FailsForSmallSubsets:
+    """Succeeds on the full anchor set, raises on any strict subset."""
+
+    def __init__(self, full_size, point):
+        self._full_size = full_size
+        self._point = point
+
+    def locate(self, observations, keep_map=True):
+        if observations.num_anchors < self._full_size:
+            raise LocalizationError(
+                f"only {observations.num_anchors} anchors"
+            )
+        guess = self._point
+
+        class Result:
+            position = guess
+
+        return Result()
+
+
+class TestFailureReasons:
+    def test_failure_reason_attached(self, dataset):
+        run = evaluate(AlwaysFails(), dataset)
+        assert all(r.failure_reason == "nope" for r in run.records)
+        assert run.failure_reasons() == ["nope"] * len(dataset)
+
+    def test_success_has_no_reason(self, dataset):
+        run = evaluate(PerfectOracle(), dataset)
+        assert run.failure_reasons() == [None] * len(dataset)
+
+    def test_reason_round_trips_through_stats(self, dataset):
+        run = evaluate(AlwaysFails(), dataset)
+        before = run.failure_reasons()
+        run.stats(failure_error_m=5.0)  # must not mutate the records
+        assert run.failure_reasons() == before
+        assert [r.error_m for r in run.records] == [float("inf")] * len(
+            dataset
+        )
+
+    def test_failures_counted_by_exception_type(self, dataset):
+        from repro.obs import observed
+
+        with observed() as obs:
+            evaluate(AlwaysFails(), dataset)
+        counter = obs.metrics.get("eval.failures.LocalizationError")
+        assert counter is not None and counter.value == len(dataset)
+
+    def test_fix_latency_histogram_populated(self, dataset):
+        from repro.obs import observed
+
+        with observed() as obs:
+            evaluate(PerfectOracle(), dataset)
+        latency = obs.metrics.get("eval.fix_latency_s")
+        assert latency.count == len(dataset)
+        assert latency.percentile(50) <= latency.percentile(95)
+        assert obs.metrics.get("eval.fixes_total").value == len(dataset)
+
+    def test_fix_spans_recorded(self, dataset):
+        from repro.obs import observed
+
+        with observed() as obs:
+            evaluate(PerfectOracle(), dataset, label="oracle")
+        fixes = [s for s in obs.tracer.finished() if s.name == "fix"]
+        assert len(fixes) == len(dataset)
+        assert fixes[0].attributes["label"] == "oracle"
+
+
 class TestAnchorSubsets:
     def test_oracle_still_zero(self, dataset):
         run = evaluate_anchor_subsets(PerfectOracle(), dataset, subset_size=3)
@@ -115,3 +182,76 @@ class TestAnchorSubsets:
             PerfectOracle(), dataset, subset_size=2, limit=2
         )
         assert len(run.records) == 2
+
+    def test_no_estimate_leak_when_all_subsets_fail(self, dataset):
+        run = evaluate_anchor_subsets(
+            AlwaysFails(), dataset, subset_size=3, limit=2
+        )
+        for record in run.records:
+            assert record.estimate is None
+            assert record.error_m == float("inf")
+            assert record.failure_reason == "nope"
+        assert run.num_failed == 2
+
+    def test_aggregate_record_has_no_single_estimate(self, dataset):
+        # Subsets disagree (FixedGuess vs truth distances differ per
+        # subset only through the shared guess -- use a localizer whose
+        # error varies per subset instead): the oracle gives identical
+        # zero errors, so the mean equals each subset error and an
+        # estimate IS reported; a fixed guess gives equal errors too.
+        # Build a localizer with per-call jitter to force disagreement.
+        class Drifting:
+            def __init__(self):
+                self.calls = 0
+
+            def locate(self, observations, keep_map=True):
+                self.calls += 1
+                offset = 0.1 * self.calls
+                guess = Point(offset, 0.0)
+
+                class Result:
+                    position = guess
+
+                return Result()
+
+        run = evaluate_anchor_subsets(
+            Drifting(), dataset, subset_size=3, limit=1
+        )
+        record = run.records[0]
+        # Three different subset errors: the mean matches none of them,
+        # so no single subset's estimate may masquerade as "the" fix.
+        assert record.estimate is None
+        assert np.isfinite(record.error_m)
+        assert run.num_failed == 0
+
+    def test_single_surviving_subset_estimate_is_reported(self, dataset):
+        # One subset (the full set is never evaluated here) succeeds:
+        # subset_size equals the anchor count, so there is exactly one
+        # subset and its estimate must be reported as-is.
+        guess = Point(0.3, -0.2)
+        full = dataset.observations[0].num_anchors
+        run = evaluate_anchor_subsets(
+            FixedGuess(guess), dataset, subset_size=full, limit=1
+        )
+        record = run.records[0]
+        assert record.estimate is not None
+        assert record.estimate.x == guess.x
+        assert record.error_m == pytest.approx(
+            (record.truth - guess).norm()
+        )
+
+    def test_subset_failures_counted(self, dataset):
+        from repro.obs import observed
+
+        full = dataset.observations[0].num_anchors
+        localizer = FailsForSmallSubsets(full, Point(0, 0))
+        with observed() as obs:
+            run = evaluate_anchor_subsets(
+                localizer, dataset, subset_size=full - 1, limit=2
+            )
+        # All (full-1)-sized subsets fail: 3 subsets per entry, 2 entries.
+        assert obs.metrics.get("eval.subset_failures").value == 6
+        assert all(r.error_m == float("inf") for r in run.records)
+        assert all(
+            r.failure_reason is not None for r in run.records
+        )
