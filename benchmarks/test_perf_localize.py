@@ -1,0 +1,179 @@
+"""Bench: steering-engine cold/warm cost and serial/parallel sweep rates.
+
+Not a paper figure -- this tracks the localization hot path itself, on
+the default 4-anchor / 4-antenna / 37-band scenario:
+
+* direct Eq. 17 path (rebuild geometry every fix) vs a cold steering
+  cache (first fix pays the build) vs a warm cache (matvecs only);
+* serial ``evaluate()`` vs ``evaluate(workers=N)``.
+
+Each test folds its measurements into ``BENCH_localize.json`` (path
+overridable via ``REPRO_BENCH_JSON``), so successive runs keep the perf
+trajectory comparable.  Scale with ``REPRO_EVAL_POINTS`` /
+``REPRO_GRID_RES`` like the figure benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import BlocConfig, BlocLocalizer
+from repro.experiments.common import (
+    default_dataset,
+    eval_points,
+    grid_resolution,
+)
+from repro.sim import evaluate
+
+#: Output file accumulating the perf numbers of both tests.
+BENCH_JSON_PATH = os.environ.get("REPRO_BENCH_JSON", "BENCH_localize.json")
+
+#: Thread-pool size of the parallel sweep measurement.
+PARALLEL_WORKERS = 4
+
+#: Cap on sweep size: enough fixes to time a sweep, cheap enough for CI.
+MAX_BENCH_FIXES = 12
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return default_dataset(min(eval_points(), MAX_BENCH_FIXES))
+
+
+def _bloc_config() -> BlocConfig:
+    return BlocConfig(grid_resolution_m=grid_resolution())
+
+
+def _best_locate_s(localizer, observations, rounds: int) -> float:
+    """Best-of-``rounds`` wall-clock of one ``locate`` call."""
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        localizer.locate(observations, keep_map=False)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _update_bench_json(scenario: dict, section: str, data: dict) -> dict:
+    """Read-merge-write one section of the benchmark JSON."""
+    path = Path(BENCH_JSON_PATH)
+    payload = (
+        json.loads(path.read_text(encoding="utf-8"))
+        if path.exists()
+        else {"benchmark": "localize"}
+    )
+    payload["benchmark"] = "localize"
+    payload["scenario"] = scenario
+    payload[section] = data
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return payload
+
+
+def _scenario(dataset, localizer) -> dict:
+    observations = dataset.observations[0]
+    return {
+        "anchors": observations.num_anchors,
+        "antennas": observations.num_antennas,
+        "bands": observations.num_bands,
+        "grid_points": localizer.grid_for(observations).size,
+        "grid_resolution_m": grid_resolution(),
+        "fixes": len(dataset),
+    }
+
+
+def test_perf_steering_cache(dataset, report_sink):
+    """Warm-cache locate must be >= 3x faster than the direct path."""
+    observations = dataset.observations[0]
+    direct = BlocLocalizer(config=_bloc_config(), engine=None)
+    cached = BlocLocalizer(config=_bloc_config())
+
+    direct_s = _best_locate_s(direct, observations, rounds=3)
+    start = time.perf_counter()
+    cold_result = cached.locate(observations, keep_map=False)
+    cold_s = time.perf_counter() - start
+    warm_s = _best_locate_s(cached, observations, rounds=5)
+
+    direct_result = direct.locate(observations, keep_map=False)
+    assert np.allclose(
+        tuple(direct_result.position),
+        tuple(cold_result.position),
+        atol=1e-6,
+    )
+    assert cached.engine.misses == 1 and cached.engine.hits >= 5
+
+    speedup = direct_s / warm_s
+    entry = cached.engine.info()
+    data = {
+        "direct_s_per_fix": direct_s,
+        "cold_first_fix_s": cold_s,
+        "warm_s_per_fix": warm_s,
+        "speedup_warm_vs_direct": speedup,
+        "cache_bytes": entry["bytes"],
+        "cache_entries": entry["entries"],
+    }
+    _update_bench_json(_scenario(dataset, cached), "steering_cache", data)
+    report_sink.append(
+        "[perf] steering cache\n"
+        f"  direct path       {direct_s * 1000:8.1f} ms/fix\n"
+        f"  cold cache        {cold_s * 1000:8.1f} ms (first fix, incl. "
+        "build)\n"
+        f"  warm cache        {warm_s * 1000:8.1f} ms/fix "
+        f"({speedup:.1f}x vs direct)\n"
+        f"  cache size        {entry['bytes'] / 1e6:8.1f} MB"
+    )
+    assert speedup >= 3.0, (
+        f"warm cache only {speedup:.2f}x faster than the direct path "
+        f"(direct {direct_s:.4f}s, warm {warm_s:.4f}s)"
+    )
+
+
+def test_perf_parallel_evaluate(dataset, report_sink):
+    """Parallel sweep: identical records, measured throughput."""
+    serial_localizer = BlocLocalizer(config=_bloc_config())
+    parallel_localizer = BlocLocalizer(config=_bloc_config())
+
+    start = time.perf_counter()
+    serial_run = evaluate(serial_localizer, dataset, label="serial")
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel_run = evaluate(
+        parallel_localizer,
+        dataset,
+        label="parallel",
+        workers=PARALLEL_WORKERS,
+    )
+    parallel_s = time.perf_counter() - start
+
+    assert [r.error_m for r in serial_run.records] == [
+        r.error_m for r in parallel_run.records
+    ], "parallel evaluation must be record-for-record identical to serial"
+
+    fixes = len(dataset)
+    serial_rate = fixes / serial_s
+    parallel_rate = fixes / parallel_s
+    data = {
+        "fixes": fixes,
+        "cpus": os.cpu_count(),
+        "serial_s": serial_s,
+        "serial_fixes_per_s": serial_rate,
+        "workers": PARALLEL_WORKERS,
+        "parallel_s": parallel_s,
+        "parallel_fixes_per_s": parallel_rate,
+        "speedup_parallel_vs_serial": serial_s / parallel_s,
+    }
+    _update_bench_json(
+        _scenario(dataset, serial_localizer), "evaluate", data
+    )
+    report_sink.append(
+        "[perf] evaluation sweep\n"
+        f"  serial            {serial_rate:8.1f} fixes/s\n"
+        f"  workers={PARALLEL_WORKERS}         {parallel_rate:8.1f} "
+        f"fixes/s ({serial_s / parallel_s:.1f}x)"
+    )
+    assert Path(BENCH_JSON_PATH).exists()

@@ -31,7 +31,9 @@ from repro.core import (
     BlocLocalizer,
     ChannelObservations,
     CorrectedChannels,
+    EngineConfig,
     LocalizationResult,
+    SteeringCache,
     correct_phase_offsets,
 )
 from repro.sim import (
@@ -58,6 +60,7 @@ __all__ = [
     "ChannelMeasurementModel",
     "ChannelObservations",
     "CorrectedChannels",
+    "EngineConfig",
     "ErrorStats",
     "EvaluationDataset",
     "IqMeasurementModel",
@@ -66,6 +69,7 @@ __all__ = [
     "RssiFingerprinting",
     "RssiTrilateration",
     "ShortestDistanceLocalizer",
+    "SteeringCache",
     "Testbed",
     "build_dataset",
     "correct_phase_offsets",

@@ -62,12 +62,19 @@ def cmd_demo(args) -> int:
     return _maybe_observed(args, lambda: _run_demo(args))
 
 
+def _bloc_localizer(args) -> BlocLocalizer:
+    """A BLoc localizer honouring the --no-engine flag."""
+    if getattr(args, "no_engine", False):
+        return BlocLocalizer(engine=None)
+    return BlocLocalizer()
+
+
 def _run_demo(args) -> int:
     testbed = vicon_testbed()
     model = ChannelMeasurementModel(testbed=testbed, seed=args.seed)
     tag = Point(args.x, args.y)
     observations = model.measure(tag)
-    result = BlocLocalizer().locate(observations)
+    result = _bloc_localizer(args).locate(observations)
     print(
         f"true ({tag.x:+.2f}, {tag.y:+.2f})  "
         f"estimate ({result.position.x:+.2f}, {result.position.y:+.2f})  "
@@ -92,12 +99,12 @@ def _run_evaluate(args) -> int:
     testbed = vicon_testbed()
     dataset = build_dataset(testbed, num_positions=args.num, seed=args.seed)
     schemes = {
-        "BLoc": BlocLocalizer(),
+        "BLoc": _bloc_localizer(args),
         "AoA baseline": AoaLocalizer(),
         "shortest-distance": shortest_distance_localizer(),
     }
     for name, localizer in schemes.items():
-        run = evaluate(localizer, dataset, label=name)
+        run = evaluate(localizer, dataset, label=name, workers=args.workers)
         print(f"{name:<18} {run.stats().summary()}")
     return 0
 
@@ -143,17 +150,35 @@ def main(argv=None) -> int:
             help="print the span-timing and metrics summary tables",
         )
 
+    def add_perf_flags(command):
+        command.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            metavar="N",
+            help="worker threads for evaluation sweeps "
+            "(a single-fix demo runs serially regardless)",
+        )
+        command.add_argument(
+            "--no-engine",
+            action="store_true",
+            help="disable the steering-matrix cache and use the direct "
+            "rebuild-per-fix Eq. 17 path",
+        )
+
     demo = sub.add_parser("demo", help="localize one simulated tag")
     demo.add_argument("-x", type=float, default=0.8)
     demo.add_argument("-y", type=float, default=0.4)
     demo.add_argument("--seed", type=int, default=42)
     add_obs_flags(demo)
+    add_perf_flags(demo)
     demo.set_defaults(func=cmd_demo)
 
     ev = sub.add_parser("evaluate", help="compare schemes over a dataset")
     ev.add_argument("-n", "--num", type=int, default=30)
     ev.add_argument("--seed", type=int, default=2018)
     add_obs_flags(ev)
+    add_perf_flags(ev)
     ev.set_defaults(func=cmd_evaluate)
 
     plan = sub.add_parser("floorplan", help="render the default testbed")

@@ -30,6 +30,12 @@ from repro.core.music import (
     music_angles,
     music_spectrum,
 )
+from repro.core.engine import (
+    EngineConfig,
+    SteeringCache,
+    SteeringEntry,
+    build_steering_entry,
+)
 from repro.core.entropy import (
     negentropy,
     peak_neighborhood_entropy,
@@ -68,11 +74,14 @@ __all__ = [
     "BlocLocalizer",
     "ChannelObservations",
     "CorrectedChannels",
+    "EngineConfig",
     "LikelihoodMap",
     "LocalizationResult",
     "Peak",
     "PeakConfig",
     "ScoredPeak",
+    "SteeringCache",
+    "SteeringEntry",
     "TagTracker",
     "TrackState",
     "ScoringConfig",
@@ -81,6 +90,7 @@ __all__ = [
     "anchor_likelihood_flat",
     "angle_spectrum",
     "array_covariance",
+    "build_steering_entry",
     "coherence_gain",
     "combine_tone_channels",
     "compute_likelihood_map",

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.constants import SPEED_OF_LIGHT
 from repro.core.correction import CorrectedChannels
+from repro.core.engine import SteeringCache
 from repro.errors import ConfigurationError
 from repro.utils.complexutils import normalize_peak
 from repro.utils.gridmap import Grid2D
@@ -94,6 +95,7 @@ def compute_likelihood_map(
     corrected: CorrectedChannels,
     grid: Grid2D,
     anchor_weights: Optional[np.ndarray] = None,
+    engine: Optional[SteeringCache] = None,
 ) -> LikelihoodMap:
     """Evaluate Eq. 17 for every anchor and combine over the grid.
 
@@ -103,6 +105,11 @@ def compute_likelihood_map(
         grid: candidate-position grid.
         anchor_weights: optional per-anchor weights for the combination
             (default: equal weights, as in the paper).
+        engine: optional :class:`~repro.core.engine.SteeringCache`; when
+            given, the per-anchor evaluation runs on its precomputed
+            steering matrices (one matvec per antenna) instead of the
+            direct rebuild-everything path.  Results agree to floating
+            point rounding (~1e-13 relative).
 
     Returns:
         The combined and per-anchor likelihood maps.
@@ -115,15 +122,25 @@ def compute_likelihood_map(
             raise ConfigurationError(
                 "anchor_weights length must match the anchor count"
             )
-    points = grid.points()
-    reference = corrected.master_reference_position().as_array()
-    reference_distances = np.linalg.norm(points - reference[None, :], axis=1)
+    if engine is not None:
+        entry = engine.entry_for(corrected, grid)
+        points = reference_distances = None
+    else:
+        entry = None
+        points = grid.points()
+        reference = corrected.master_reference_position().as_array()
+        reference_distances = np.linalg.norm(
+            points - reference[None, :], axis=1
+        )
     per_anchor = []
     combined = np.zeros(grid.shape)
     for i in range(corrected.num_anchors):
-        flat = anchor_likelihood_flat(
-            corrected, i, points, reference_distances
-        )
+        if entry is not None:
+            flat = entry.anchor_likelihood(i, corrected.alpha[i])
+        else:
+            flat = anchor_likelihood_flat(
+                corrected, i, points, reference_distances
+            )
         normalised = normalize_peak(grid.reshape(flat))
         per_anchor.append(normalised)
         combined += anchor_weights[i] * normalised

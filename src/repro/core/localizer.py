@@ -20,6 +20,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.core.correction import CorrectedChannels, correct_phase_offsets
+from repro.core.engine import SteeringCache
 from repro.core.likelihood import LikelihoodMap, compute_likelihood_map
 from repro.core.observations import ChannelObservations
 from repro.core.peaks import Peak, PeakConfig, find_peaks, refine_peak_position
@@ -95,10 +96,16 @@ class BlocLocalizer:
         bounds: optional fixed grid bounds ``(x_min, x_max, y_min, y_max)``;
             by default the grid covers the anchors' bounding box plus the
             configured margin.
+        engine: steering-matrix cache shared across ``locate()`` calls;
+            the grid, anchor geometry and band plan are invariant over a
+            sweep, so every fix after the first runs on precomputed
+            steering matrices.  Pass ``engine=None`` to force the direct
+            (rebuild-per-call) Eq. 17 path.
     """
 
     config: BlocConfig = field(default_factory=BlocConfig)
     bounds: Optional[Tuple[float, float, float, float]] = None
+    engine: Optional[SteeringCache] = field(default_factory=SteeringCache)
 
     def grid_for(self, observations: ChannelObservations) -> Grid2D:
         """The evaluation grid for a set of observations."""
@@ -123,7 +130,7 @@ class BlocLocalizer:
         self, corrected: CorrectedChannels, grid: Grid2D
     ) -> LikelihoodMap:
         """Stage 2: per-anchor Eq. 17 maps, combined over anchors."""
-        return compute_likelihood_map(corrected, grid)
+        return compute_likelihood_map(corrected, grid, engine=self.engine)
 
     def pick_peak(
         self,

@@ -40,11 +40,14 @@ def angle_spectrum(
     Returns:
         ``(angles_rad, spectrum)`` with spectrum normalised to peak 1.
     """
-    h = np.atleast_2d(np.asarray(channels, dtype=complex))
-    if h.ndim != 2:
-        raise ConfigurationError("channels must be (J,) or (J, K)")
-    if channels is not None and np.asarray(channels).ndim == 1:
-        h = h.reshape(-1, 1)
+    h = np.asarray(channels, dtype=complex)
+    if h.ndim == 0 or h.ndim == 1:
+        h = np.atleast_1d(h).reshape(-1, 1)
+    elif h.ndim != 2:
+        raise ConfigurationError(
+            f"channels must be (J,) or (J, K), got {h.ndim}-D "
+            f"shape {h.shape}"
+        )
     num_antennas, num_bands = h.shape
     freqs = np.broadcast_to(
         np.atleast_1d(np.asarray(frequency_hz, dtype=float)), (num_bands,)
@@ -52,25 +55,24 @@ def angle_spectrum(
     if angles_rad is None:
         angles_rad = np.linspace(-np.pi / 2.0, np.pi / 2.0, 181)
     j = np.arange(num_antennas)
-    spectrum = np.zeros(angles_rad.size)
-    for k in range(num_bands):
-        wavelength = SPEED_OF_LIGHT / freqs[k]
-        # Steering phase: undo the per-element phase the geometry
-        # imprinted.  In this library's convention element index grows
-        # towards the +array axis and theta is measured towards that same
-        # axis, so element j is *closer* to a +theta source and carries
-        # phase +2*pi*j*l*sin(theta)/lambda; the steering conjugates it.
-        # (The paper's Eq. 3 writes the opposite sign because its Fig. 2
-        # indexes elements away from the target -- same physics, reversed
-        # element order.)
-        phases = (
-            -2.0
-            * np.pi
-            * np.outer(j, np.sin(angles_rad))
-            * spacing_m
-            / wavelength
-        )
-        spectrum += np.abs(np.sum(h[:, k][:, None] * np.exp(1j * phases), axis=0))
+    # Steering phase: undo the per-element phase the geometry imprinted.
+    # In this library's convention element index grows towards the +array
+    # axis and theta is measured towards that same axis, so element j is
+    # *closer* to a +theta source and carries phase
+    # +2*pi*j*l*sin(theta)/lambda; the steering conjugates it.  (The
+    # paper's Eq. 3 writes the opposite sign because its Fig. 2 indexes
+    # elements away from the target -- same physics, reversed element
+    # order.)  One broadcast covers every band: the per-band phase is the
+    # element/angle geometry scaled by that band's frequency.
+    geometry = (
+        -2.0 * np.pi * spacing_m * np.outer(j, np.sin(angles_rad))
+    )  # (J, A)
+    phases = (freqs / SPEED_OF_LIGHT)[:, None, None] * geometry[None, :, :]
+    # Coherent sum over antennas per band, non-coherent over bands (the
+    # paper's Eq. 15 applies per frequency).
+    spectrum = np.abs(
+        np.einsum("jk,kja->ka", h, np.exp(1j * phases))
+    ).sum(axis=0)
     peak = spectrum.max()
     if peak > 0:
         spectrum = spectrum / peak

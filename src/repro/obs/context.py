@@ -69,6 +69,10 @@ STANDARD_METRICS = {
     "eval.fixes_total": ("counter", None),
     "eval.subset_failures": ("counter", None),
     "eval.fix_latency_s": ("histogram", LATENCY_BUCKETS_S),
+    "engine.cache_hits": ("counter", None),
+    "engine.cache_misses": ("counter", None),
+    "engine.cache_evictions": ("counter", None),
+    "engine.build_s": ("histogram", LATENCY_BUCKETS_S),
 }
 
 

@@ -62,6 +62,10 @@ class Counter:
         with self._lock:
             self._value += amount
 
+    def merge(self, other: "Counter") -> None:
+        """Fold another counter's total into this one."""
+        self.inc(other.value)
+
     def snapshot(self) -> dict:
         """Plain-data view for export."""
         return {"type": "counter", "name": self.name, "value": self._value}
@@ -94,6 +98,12 @@ class Gauge:
                 self._value = float(amount)
             else:
                 self._value += float(amount)
+
+    def merge(self, other: "Gauge") -> None:
+        """Adopt another gauge's value (last write wins; NaN is skipped)."""
+        value = other.value
+        if not math.isnan(value):
+            self.set(value)
 
     def snapshot(self) -> dict:
         """Plain-data view for export."""
@@ -174,6 +184,35 @@ class Histogram:
         """Per-bucket counts (last entry is the +inf overflow bucket)."""
         with self._lock:
             return list(self._counts)
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's observations into this one.
+
+        Both histograms must share the same bucket edges (edges are part
+        of the instrument identity).  The other histogram is snapshotted
+        under its own lock first, so merging is safe while writers are
+        still observing into either side.
+        """
+        if other.edges != self.edges:
+            raise ConfigurationError(
+                f"histogram {self.name}: cannot merge edges {other.edges} "
+                f"into {self.edges}"
+            )
+        with other._lock:
+            counts = list(other._counts)
+            count = other._count
+            total = other._sum
+            lo, hi = other._min, other._max
+        if count == 0:
+            return
+        with self._lock:
+            self._counts = [a + b for a, b in zip(self._counts, counts)]
+            self._count += count
+            self._sum += total
+            if lo < self._min:
+                self._min = lo
+            if hi > self._max:
+                self._max = hi
 
     def mean(self) -> float:
         """Mean of the observations (NaN when empty)."""
@@ -288,6 +327,25 @@ class MetricsRegistry:
                 f"{instrument.edges}, requested {requested}"
             )
         return instrument
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold every instrument of ``other`` into this registry.
+
+        Counterpart instruments are created on demand; counters add,
+        gauges last-write-win, histograms combine bucket counts.  Used by
+        the parallel evaluation runner to collapse per-worker registries
+        into the session observer.  Returns self for chaining.
+        """
+        for instrument in other.instruments():
+            if instrument.kind == "counter":
+                self.counter(instrument.name).merge(instrument)
+            elif instrument.kind == "gauge":
+                self.gauge(instrument.name).merge(instrument)
+            else:
+                self.histogram(instrument.name, instrument.edges).merge(
+                    instrument
+                )
+        return self
 
     def get(self, name: str) -> Optional[Instrument]:
         """Look up an instrument without creating it."""

@@ -4,18 +4,28 @@ Any object with a ``locate(observations) -> result`` method where the
 result exposes ``.position`` qualifies as a localizer -- BLoc, the AoA
 baseline and the RSSI baseline all satisfy this protocol, so every
 Section 8 experiment is one :func:`evaluate` call per configuration.
+
+Sweeps parallelize across fixes with ``workers=N``: entries are fanned
+out over a thread pool (the hot path is numpy, which releases the GIL),
+records come back in dataset order regardless of completion order, and
+with observability enabled each worker thread accumulates its per-fix
+metrics in a private registry that is merged into the session observer
+once the sweep finishes -- so parallel runs report the same totals as
+serial ones without contending on one registry per fix.
 """
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Protocol, Sequence
 
 import numpy as np
 
 from repro.core.observations import ChannelObservations
-from repro.errors import LocalizationError
-from repro.obs import LATENCY_BUCKETS_S, get_observer
+from repro.errors import ConfigurationError, LocalizationError
+from repro.obs import LATENCY_BUCKETS_S, MetricsRegistry, get_observer
 from repro.sim.dataset import EvaluationDataset
 from repro.sim.metrics import ErrorStats
 from repro.utils.geometry2d import Point
@@ -93,6 +103,78 @@ class EvaluationRun:
         ]
 
 
+def _resolve_workers(workers: Optional[int]) -> int:
+    """Validate and default the worker count (None means serial)."""
+    if workers is None:
+        return 1
+    count = int(workers)
+    if count < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    return count
+
+
+class _WorkerRegistries:
+    """One private :class:`MetricsRegistry` per worker thread.
+
+    Workers write their per-fix counters and latency histograms into a
+    thread-local registry; :meth:`merge_into` folds every worker registry
+    into the session observer after the sweep, so totals match a serial
+    run exactly while the hot loop never contends on shared instruments.
+    """
+
+    def __init__(self):
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._registries: List[MetricsRegistry] = []
+
+    def current(self) -> MetricsRegistry:
+        """The calling thread's registry (created on first use)."""
+        registry = getattr(self._local, "registry", None)
+        if registry is None:
+            registry = MetricsRegistry()
+            with self._lock:
+                self._registries.append(registry)
+            self._local.registry = registry
+        return registry
+
+    def merge_into(self, target: MetricsRegistry) -> None:
+        """Fold every worker registry into ``target``."""
+        with self._lock:
+            registries = list(self._registries)
+        for registry in registries:
+            target.merge(registry)
+
+
+def _sweep(entries: Sequence, run_fix, workers: int) -> List[EvaluationRecord]:
+    """Run ``run_fix(index, entry, metrics)`` over all entries.
+
+    Serial when ``workers == 1``; otherwise entries fan out over a thread
+    pool.  ``pool.map`` preserves submission order, so the returned
+    records are in dataset order either way.
+    """
+    observer = get_observer()
+    if workers == 1 or len(entries) <= 1:
+        metrics = observer.metrics if observer.enabled else None
+        return [
+            run_fix(index, entry, metrics)
+            for index, entry in enumerate(entries)
+        ]
+    worker_metrics = _WorkerRegistries() if observer.enabled else None
+
+    def job(item):
+        index, entry = item
+        metrics = worker_metrics.current() if worker_metrics else None
+        return run_fix(index, entry, metrics)
+
+    with ThreadPoolExecutor(
+        max_workers=workers, thread_name_prefix="eval-worker"
+    ) as pool:
+        records = list(pool.map(job, enumerate(entries)))
+    if worker_metrics is not None:
+        worker_metrics.merge_into(observer.metrics)
+    return records
+
+
 def evaluate(
     localizer: Localizer,
     dataset: EvaluationDataset,
@@ -101,6 +183,7 @@ def evaluate(
         Callable[[ChannelObservations], ChannelObservations]
     ] = None,
     limit: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> EvaluationRun:
     """Run a localizer over every dataset entry.
 
@@ -110,16 +193,26 @@ def evaluate(
         label: report name.
         transform: optional per-entry observation transform (antenna /
             anchor / bandwidth subsetting).
-        limit: evaluate only the first ``limit`` entries.
+        limit: evaluate only the first ``limit`` entries (0 means none).
+        workers: thread-pool size for parallel evaluation (None or 1
+            runs serially).  Records keep dataset order and per-worker
+            metrics are merged into the active observer (see module
+            docstring); the localizer must tolerate concurrent
+            ``locate`` calls, which BLoc and the baselines do.
 
     A fix that raises :class:`~repro.errors.LocalizationError` is recorded
     as failed rather than aborting the run -- a localizer that cannot
     produce a fix is a (bad) data point, not a crash.
     """
-    run = EvaluationRun(label=label)
+    workers = _resolve_workers(workers)
     observer = get_observer()
-    entries = dataset.observations[:limit] if limit else dataset.observations
-    for fix_index, observations in enumerate(entries):
+    entries = (
+        dataset.observations[:limit]
+        if limit is not None
+        else dataset.observations
+    )
+
+    def run_fix(fix_index, observations, metrics):
         if transform is not None:
             observations = transform(observations)
         truth = observations.ground_truth
@@ -133,24 +226,25 @@ def evaluate(
                 estimate = None
                 error = float("inf")
                 failure_reason = str(exc)
-                if observer.enabled:
-                    observer.metrics.counter(
+                if metrics is not None:
+                    metrics.counter(
                         f"eval.failures.{type(exc).__name__}"
                     ).inc()
-        if observer.enabled:
-            observer.metrics.counter("eval.fixes_total").inc()
-            observer.metrics.histogram(
+        if metrics is not None:
+            metrics.counter("eval.fixes_total").inc()
+            metrics.histogram(
                 "eval.fix_latency_s", LATENCY_BUCKETS_S
             ).observe(span.duration_s)
-        run.records.append(
-            EvaluationRecord(
-                truth=truth,
-                estimate=estimate,
-                error_m=error,
-                failure_reason=failure_reason,
-            )
+        return EvaluationRecord(
+            truth=truth,
+            estimate=estimate,
+            error_m=error,
+            failure_reason=failure_reason,
         )
-    return run
+
+    return EvaluationRun(
+        label=label, records=_sweep(entries, run_fix, workers)
+    )
 
 
 def evaluate_anchor_subsets(
@@ -159,6 +253,7 @@ def evaluate_anchor_subsets(
     subset_size: int,
     label: str = "",
     limit: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> EvaluationRun:
     """Average over all anchor subsets of a given size (Section 8.3).
 
@@ -166,13 +261,22 @@ def evaluate_anchor_subsets(
     deployed anchors and ... the average of those errors for each data
     point"; this reproduces that protocol.  Subsets must contain the
     master (its packets anchor the Eq. 10 correction).
+
+    ``workers`` parallelizes across dataset entries (each entry's subset
+    loop stays serial inside its worker), with the same ordering and
+    metric-merging guarantees as :func:`evaluate`.
     """
     from itertools import combinations
 
-    run = EvaluationRun(label=label)
+    workers = _resolve_workers(workers)
     observer = get_observer()
-    entries = dataset.observations[:limit] if limit else dataset.observations
-    for fix_index, observations in enumerate(entries):
+    entries = (
+        dataset.observations[:limit]
+        if limit is not None
+        else dataset.observations
+    )
+
+    def run_fix(fix_index, observations, metrics):
         truth = observations.ground_truth
         master = observations.master_index
         others = [
@@ -193,9 +297,9 @@ def evaluate_anchor_subsets(
                 except LocalizationError as exc:
                     outcomes.append((None, float("inf")))
                     failure_reason = str(exc)
-                    if observer.enabled:
-                        observer.metrics.counter("eval.subset_failures").inc()
-                        observer.metrics.counter(
+                    if metrics is not None:
+                        metrics.counter("eval.subset_failures").inc()
+                        metrics.counter(
                             f"eval.failures.{type(exc).__name__}"
                         ).inc()
         finite = [e for _, e in outcomes if np.isfinite(e)]
@@ -207,12 +311,13 @@ def evaluate_anchor_subsets(
         estimate = next(
             (est for est, err in outcomes if err == mean_error), None
         )
-        run.records.append(
-            EvaluationRecord(
-                truth=truth,
-                estimate=estimate,
-                error_m=mean_error,
-                failure_reason=None if finite else failure_reason,
-            )
+        return EvaluationRecord(
+            truth=truth,
+            estimate=estimate,
+            error_m=mean_error,
+            failure_reason=None if finite else failure_reason,
         )
-    return run
+
+    return EvaluationRun(
+        label=label, records=_sweep(entries, run_fix, workers)
+    )

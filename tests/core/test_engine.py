@@ -1,0 +1,239 @@
+"""Tests for repro.core.engine: the steering-matrix cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BlocLocalizer,
+    EngineConfig,
+    SteeringCache,
+    build_steering_entry,
+    compute_likelihood_map,
+    correct_phase_offsets,
+)
+from repro.core.engine import _lattice_steps
+from repro.errors import ConfigurationError
+from repro.sim import ChannelMeasurementModel, build_dataset, evaluate
+from repro.sim.testbed import open_room_testbed
+from repro.utils.geometry2d import Point
+from repro.utils.gridmap import Grid2D
+
+
+@pytest.fixture(scope="module")
+def observations():
+    model = ChannelMeasurementModel(testbed=open_room_testbed(), seed=7)
+    return model.measure(Point(0.4, -0.3))
+
+
+@pytest.fixture(scope="module")
+def corrected(observations):
+    return correct_phase_offsets(observations)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return Grid2D(-2.0, 2.0, -1.5, 1.5, 0.1)
+
+
+class TestEngineConfig:
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(ConfigurationError):
+            EngineConfig(block_size=0)
+
+    def test_rejects_bad_max_entries(self):
+        with pytest.raises(ConfigurationError):
+            EngineConfig(max_entries=0)
+
+
+class TestLatticeDetection:
+    def test_uniform_plan_is_a_lattice(self):
+        wn = np.linspace(1.0, 2.0, 11)
+        base, multiples = _lattice_steps(wn)
+        assert base == pytest.approx(0.1)
+        assert list(multiples) == [1] * 10
+
+    def test_ble_plan_with_advertising_gap(self):
+        # 2 MHz lattice with one 4 MHz hole, like the BLE data channels.
+        freqs = np.array([0.0, 2.0, 4.0, 8.0, 10.0])
+        base, multiples = _lattice_steps(freqs)
+        assert base == pytest.approx(2.0)
+        assert list(multiples) == [1, 1, 2, 1]
+
+    def test_irrational_spacing_is_not_a_lattice(self):
+        assert _lattice_steps(np.array([0.0, 1.0, 1.0 + np.pi])) is None
+
+    def test_single_band_has_no_lattice(self):
+        assert _lattice_steps(np.array([2.4e9])) is None
+
+
+class TestCachedMapMatchesDirect:
+    def test_allclose_to_direct_path(self, corrected, grid):
+        cache = SteeringCache()
+        direct = compute_likelihood_map(corrected, grid)
+        cached = compute_likelihood_map(corrected, grid, engine=cache)
+        assert np.allclose(direct.combined, cached.combined)
+        for a, b in zip(direct.per_anchor, cached.per_anchor):
+            assert np.allclose(a, b)
+
+    def test_locate_matches_direct_path(self, observations):
+        with_engine = BlocLocalizer().locate(observations, keep_map=False)
+        without = BlocLocalizer(engine=None).locate(
+            observations, keep_map=False
+        )
+        assert with_engine.position.x == pytest.approx(
+            without.position.x, abs=1e-9
+        )
+        assert with_engine.position.y == pytest.approx(
+            without.position.y, abs=1e-9
+        )
+
+    def test_non_lattice_band_plan_builds_densely(self, grid, corrected):
+        entry = build_steering_entry(
+            grid,
+            corrected.anchors,
+            corrected.master_index,
+            corrected.anchor_baselines_m,
+            # Deliberately off-lattice spacings.
+            np.array([2.40e9, 2.41e9, 2.41e9 + 1.7e6]),
+        )
+        assert not entry.used_lattice
+
+
+class TestBlockwiseBuild:
+    def test_chunking_is_exact_at_boundaries(self, corrected, grid):
+        # A block size that does not divide the grid exercises a ragged
+        # final chunk; the result must be bitwise identical to a build
+        # with one giant block.
+        one_block = build_steering_entry(
+            grid,
+            corrected.anchors,
+            corrected.master_index,
+            corrected.anchor_baselines_m,
+            corrected.frequencies_hz,
+            EngineConfig(block_size=10**9),
+        )
+        chunked = build_steering_entry(
+            grid,
+            corrected.anchors,
+            corrected.master_index,
+            corrected.anchor_baselines_m,
+            corrected.frequencies_hz,
+            EngineConfig(block_size=7),
+        )
+        assert one_block.matrices.keys() == chunked.matrices.keys()
+        for key in one_block.matrices:
+            assert np.array_equal(
+                one_block.matrices[key], chunked.matrices[key]
+            )
+
+    def test_recurrence_matches_dense_exp(self, corrected, grid):
+        from repro.constants import SPEED_OF_LIGHT
+
+        entry = build_steering_entry(
+            grid,
+            corrected.anchors,
+            corrected.master_index,
+            corrected.anchor_baselines_m,
+            corrected.frequencies_hz,
+        )
+        assert entry.used_lattice
+        points = grid.points()
+        wavenumbers = (
+            2.0 * np.pi * corrected.frequencies_hz / SPEED_OF_LIGHT
+        )
+        reference = corrected.master_reference_position().as_array()
+        refd = np.linalg.norm(points - reference[None, :], axis=1)
+        anchor = corrected.anchors[1]
+        element = anchor.antenna_position(2).as_array()
+        relative = (
+            np.linalg.norm(points - element[None, :], axis=1)
+            - refd
+            - float(corrected.anchor_baselines_m[1])
+        )
+        dense = np.exp(1j * np.outer(relative, wavenumbers))
+        assert np.allclose(entry.matrices[(1, 2)], dense)
+
+
+class TestCacheKeying:
+    def test_repeat_lookup_hits(self, corrected, grid):
+        cache = SteeringCache()
+        first = cache.entry_for(corrected, grid)
+        second = cache.entry_for(corrected, grid)
+        assert first is second
+        assert cache.hits == 1 and cache.misses == 1
+        assert len(cache) == 1
+
+    def test_grid_change_invalidates(self, corrected, grid):
+        cache = SteeringCache()
+        cache.entry_for(corrected, grid)
+        cache.entry_for(corrected, grid.coarsened(2))
+        assert cache.misses == 2
+        assert len(cache) == 2
+
+    def test_frequency_change_invalidates(self, observations, grid):
+        cache = SteeringCache()
+        cache.entry_for(correct_phase_offsets(observations), grid)
+        narrower = observations.select_bandwidth(20e6)
+        cache.entry_for(correct_phase_offsets(narrower), grid)
+        assert cache.misses == 2
+
+    def test_geometry_change_invalidates(self, observations, grid):
+        cache = SteeringCache()
+        cache.entry_for(correct_phase_offsets(observations), grid)
+        # Truncating the arrays keeps the kept elements' physical
+        # positions but drops one, changing the antenna geometry.
+        truncated = observations.select_antennas(3)
+        cache.entry_for(correct_phase_offsets(truncated), grid)
+        assert cache.misses == 2
+
+    def test_lru_eviction(self, corrected, grid):
+        cache = SteeringCache(EngineConfig(max_entries=1))
+        cache.entry_for(corrected, grid)
+        cache.entry_for(corrected, grid.coarsened(2))
+        assert len(cache) == 1
+        assert cache.evictions == 1
+        # The first grid was evicted: looking it up again is a miss.
+        cache.entry_for(corrected, grid)
+        assert cache.misses == 3
+
+    def test_info_reports_bytes(self, corrected, grid):
+        cache = SteeringCache()
+        assert cache.info()["bytes"] == 0
+        cache.entry_for(corrected, grid)
+        info = cache.info()
+        assert info["entries"] == 1
+        assert info["bytes"] == cache.nbytes > 0
+
+
+class TestEngineObservability:
+    def test_cache_metrics_recorded(self, corrected, grid):
+        from repro.obs import observed
+
+        with observed() as obs:
+            cache = SteeringCache()
+            cache.entry_for(corrected, grid)
+            cache.entry_for(corrected, grid)
+        assert obs.metrics.get("engine.cache_misses").value == 1
+        assert obs.metrics.get("engine.cache_hits").value == 1
+        assert obs.metrics.get("engine.build_s").count == 1
+
+
+class TestParallelEvaluationWithSharedCache:
+    def test_workers_share_one_cache_and_match_serial(self):
+        dataset = build_dataset(
+            open_room_testbed(), num_positions=4, seed=5
+        )
+        serial = evaluate(BlocLocalizer(), dataset, label="serial")
+        parallel_localizer = BlocLocalizer()
+        parallel = evaluate(
+            parallel_localizer, dataset, label="parallel", workers=4
+        )
+        assert [r.error_m for r in serial.records] == [
+            r.error_m for r in parallel.records
+        ]
+        # One geometry across the whole sweep: a single build, shared by
+        # every worker thread.
+        assert parallel_localizer.engine.misses == 1
+        assert parallel_localizer.engine.hits == len(dataset) - 1

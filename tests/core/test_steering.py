@@ -61,6 +61,41 @@ class TestAngleSpectrum:
         assert angles is grid or np.array_equal(angles, grid)
         assert spectrum.size == 21
 
+    def test_three_dimensional_input_rejected(self):
+        with pytest.raises(ConfigurationError):
+            angle_spectrum(np.ones((2, 3, 4), complex), 0.0614, 2.44e9)
+
+    def test_vectorised_matches_per_band_loop(self):
+        """The einsum over all bands must equal the per-band reference."""
+        rng = np.random.default_rng(11)
+        num_antennas, num_bands = 4, 9
+        h = rng.standard_normal(
+            (num_antennas, num_bands)
+        ) + 1j * rng.standard_normal((num_antennas, num_bands))
+        freqs = 2.404e9 + 2e6 * np.arange(num_bands)
+        spacing = 0.0614
+        angles = np.linspace(-np.pi / 2.0, np.pi / 2.0, 181)
+
+        # Reference: the original per-band Python loop.
+        j = np.arange(num_antennas)
+        reference = np.zeros(angles.size)
+        for k in range(num_bands):
+            wavelength = SPEED_OF_LIGHT / freqs[k]
+            phases = (
+                -2.0
+                * np.pi
+                * np.outer(j, np.sin(angles))
+                * spacing
+                / wavelength
+            )
+            reference += np.abs(
+                np.sum(h[:, k][:, None] * np.exp(1j * phases), axis=0)
+            )
+        reference /= reference.max()
+
+        _, spectrum = angle_spectrum(h, spacing, freqs, angles_rad=angles)
+        assert np.allclose(spectrum, reference)
+
 
 class TestDistanceSpectrum:
     def test_peak_at_relative_distance(self):

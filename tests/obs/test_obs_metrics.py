@@ -143,3 +143,72 @@ class TestRegistry:
         assert "x" in reg and len(reg) == 1
         reg.reset()
         assert "x" not in reg and len(reg) == 0
+
+
+class TestMerge:
+    def test_counter_merge_adds(self):
+        a, b = Counter("c"), Counter("c")
+        a.inc(3)
+        b.inc(4)
+        a.merge(b)
+        assert a.value == 7
+
+    def test_gauge_merge_last_write_wins(self):
+        a, b = Gauge("g"), Gauge("g")
+        a.set(1.0)
+        b.set(2.5)
+        a.merge(b)
+        assert a.value == 2.5
+
+    def test_gauge_merge_skips_nan(self):
+        a, b = Gauge("g"), Gauge("g")
+        a.set(1.0)
+        a.merge(b)  # b never set: stays 1.0
+        assert a.value == 1.0
+
+    def test_histogram_merge_combines_everything(self):
+        edges = (1, 2, 4)
+        a, b = Histogram("h", edges), Histogram("h", edges)
+        a.observe(0.5)
+        a.observe(3.0)
+        b.observe(1.5)
+        b.observe(10.0)
+        a.merge(b)
+        assert a.count == 4
+        assert a.sum == pytest.approx(15.0)
+        assert a.min == 0.5
+        assert a.max == 10.0
+        assert a.bucket_counts() == [1, 1, 1, 1]
+
+    def test_histogram_merge_rejects_mismatched_edges(self):
+        a = Histogram("h", (1, 2))
+        b = Histogram("h", (1, 3))
+        with pytest.raises(ConfigurationError):
+            a.merge(b)
+
+    def test_empty_histogram_merge_is_noop(self):
+        a = Histogram("h", (1, 2))
+        a.observe(0.5)
+        a.merge(Histogram("h", (1, 2)))
+        assert a.count == 1
+        assert a.min == 0.5
+
+    def test_registry_merge_creates_and_combines(self):
+        main, worker = MetricsRegistry(), MetricsRegistry()
+        main.counter("shared").inc(1)
+        worker.counter("shared").inc(2)
+        worker.counter("worker_only").inc(5)
+        worker.gauge("g").set(3.0)
+        worker.histogram("h", (1, 2)).observe(1.5)
+        main.merge(worker)
+        assert main.counter("shared").value == 3
+        assert main.counter("worker_only").value == 5
+        assert main.gauge("g").value == 3.0
+        assert main.histogram("h", (1, 2)).count == 1
+
+    def test_registry_merge_kind_conflict_raises(self):
+        main, worker = MetricsRegistry(), MetricsRegistry()
+        main.counter("x")
+        worker.gauge("x").set(1.0)
+        with pytest.raises(ConfigurationError):
+            main.merge(worker)

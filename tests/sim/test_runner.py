@@ -84,9 +84,87 @@ class TestEvaluate:
         run = evaluate(PerfectOracle(), dataset, limit=2)
         assert len(run.records) == 2
 
+    def test_limit_zero_means_no_entries(self, dataset):
+        run = evaluate(PerfectOracle(), dataset, limit=0)
+        assert run.records == []
+
+    def test_limit_none_means_all_entries(self, dataset):
+        run = evaluate(PerfectOracle(), dataset, limit=None)
+        assert len(run.records) == len(dataset)
+
     def test_errors_list_matches_records(self, dataset):
         run = evaluate(FixedGuess(Point(1, 1)), dataset)
         assert len(run.errors()) == len(run.records)
+
+
+class TestParallelEvaluate:
+    def test_records_identical_to_serial(self, dataset):
+        guess = Point(0.2, -0.4)
+        serial = evaluate(FixedGuess(guess), dataset)
+        parallel = evaluate(FixedGuess(guess), dataset, workers=4)
+        assert [r.error_m for r in serial.records] == [
+            r.error_m for r in parallel.records
+        ]
+        assert [r.truth for r in serial.records] == [
+            r.truth for r in parallel.records
+        ]
+
+    def test_failures_preserved_in_order(self, dataset):
+        run = evaluate(AlwaysFails(), dataset, workers=3)
+        assert run.num_failed == len(dataset)
+        assert run.failure_reasons() == ["nope"] * len(dataset)
+
+    def test_invalid_worker_count(self, dataset):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            evaluate(PerfectOracle(), dataset, workers=0)
+        with pytest.raises(ConfigurationError):
+            evaluate(PerfectOracle(), dataset, workers=-2)
+
+    def test_worker_metrics_merged(self, dataset):
+        from repro.obs import observed
+
+        with observed() as obs:
+            evaluate(PerfectOracle(), dataset, workers=3)
+        assert obs.metrics.get("eval.fixes_total").value == len(dataset)
+        assert obs.metrics.get("eval.fix_latency_s").count == len(dataset)
+
+    def test_worker_failure_counters_merged(self, dataset):
+        from repro.obs import observed
+
+        with observed() as obs:
+            evaluate(AlwaysFails(), dataset, workers=4)
+        counter = obs.metrics.get("eval.failures.LocalizationError")
+        assert counter is not None and counter.value == len(dataset)
+
+    def test_fix_spans_recorded_from_worker_threads(self, dataset):
+        from repro.obs import observed
+
+        with observed() as obs:
+            evaluate(PerfectOracle(), dataset, workers=2, label="par")
+        fixes = [s for s in obs.tracer.finished() if s.name == "fix"]
+        assert len(fixes) == len(dataset)
+        assert {s.attributes["index"] for s in fixes} == set(
+            range(len(dataset))
+        )
+
+    def test_anchor_subsets_parallel_matches_serial(self, dataset):
+        serial = evaluate_anchor_subsets(
+            FixedGuess(Point(0.1, 0.1)), dataset, subset_size=3
+        )
+        parallel = evaluate_anchor_subsets(
+            FixedGuess(Point(0.1, 0.1)), dataset, subset_size=3, workers=4
+        )
+        assert [r.error_m for r in serial.records] == [
+            r.error_m for r in parallel.records
+        ]
+
+    def test_anchor_subsets_limit_zero(self, dataset):
+        run = evaluate_anchor_subsets(
+            PerfectOracle(), dataset, subset_size=3, limit=0
+        )
+        assert run.records == []
 
 
 class FailsForSmallSubsets:
