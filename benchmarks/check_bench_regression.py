@@ -1,0 +1,156 @@
+"""Bench-regression guard: compare a fresh BENCH_localize.json to the
+committed baseline and fail on a warm-path slowdown.
+
+Raw seconds are not comparable across machines (CI runners vs the
+laptop that committed the baseline) or across scenarios (CI shrinks the
+grid via ``REPRO_GRID_RES``), so the guard checks two normalized
+quantities:
+
+* **warm/direct ratio** -- ``warm_s_per_fix / direct_s_per_fix``.  Both
+  paths run in the same process on the same grid, so the ratio cancels
+  machine speed and grid size; a warm-path regression (cache miss on
+  the hot path, lost vectorisation) inflates it directly.
+* **warm seconds per fix per grid point** -- only when the baseline and
+  current scenario match exactly (same anchors/bands/grid points), as
+  in a local re-run against the committed file.  Guarded by
+  ``--absolute`` because wall-clock comparisons across different
+  machines are meaningless.
+
+Exit status 0 = within tolerance, 1 = regression, 2 = bad input.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py /tmp/BENCH_localize.json
+    python benchmarks/check_bench_regression.py current.json \
+        --baseline BENCH_localize.json --tolerance 0.25 --absolute
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Scenario keys that must match for absolute timings to be comparable.
+SCENARIO_KEYS = ("anchors", "antennas", "bands", "grid_points", "fixes")
+
+#: Default committed baseline, relative to the repository root.
+DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_localize.json"
+
+
+def load_bench(path: Path) -> dict:
+    """Load and shape-check one BENCH_localize.json payload."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"{path}: cannot read benchmark JSON: {exc}")
+    if payload.get("benchmark") != "localize":
+        raise ValueError(f"{path}: not a localize benchmark payload")
+    cache = payload.get("steering_cache") or {}
+    for key in ("warm_s_per_fix", "direct_s_per_fix"):
+        value = cache.get(key)
+        if not isinstance(value, (int, float)) or value <= 0:
+            raise ValueError(f"{path}: steering_cache.{key} missing or <= 0")
+    return payload
+
+
+def warm_ratio(payload: dict) -> float:
+    """Warm-path cost as a fraction of the direct path (lower = better)."""
+    cache = payload["steering_cache"]
+    return cache["warm_s_per_fix"] / cache["direct_s_per_fix"]
+
+
+def scenarios_match(baseline: dict, current: dict) -> bool:
+    """Whether absolute per-fix timings are comparable at all."""
+    b = baseline.get("scenario") or {}
+    c = current.get("scenario") or {}
+    return all(b.get(k) == c.get(k) for k in SCENARIO_KEYS)
+
+
+def check(
+    baseline: dict,
+    current: dict,
+    tolerance: float,
+    absolute: bool = False,
+) -> list:
+    """All regressions found, as human-readable strings (empty = pass)."""
+    problems = []
+    base_ratio = warm_ratio(baseline)
+    cur_ratio = warm_ratio(current)
+    limit = base_ratio * (1.0 + tolerance)
+    if cur_ratio > limit:
+        problems.append(
+            f"warm/direct ratio regressed: {cur_ratio:.5f} > "
+            f"{limit:.5f} (baseline {base_ratio:.5f} "
+            f"+{tolerance * 100:.0f}% tolerance)"
+        )
+    if absolute:
+        if not scenarios_match(baseline, current):
+            problems.append(
+                "--absolute requested but scenarios differ; regenerate "
+                "the baseline with the same REPRO_* settings"
+            )
+        else:
+            base_warm = baseline["steering_cache"]["warm_s_per_fix"]
+            cur_warm = current["steering_cache"]["warm_s_per_fix"]
+            if cur_warm > base_warm * (1.0 + tolerance):
+                problems.append(
+                    f"warm_s_per_fix regressed: {cur_warm:.6f}s > "
+                    f"{base_warm * (1.0 + tolerance):.6f}s "
+                    f"(baseline {base_warm:.6f}s "
+                    f"+{tolerance * 100:.0f}% tolerance)"
+                )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "current", type=Path, help="freshly generated BENCH_localize.json"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="committed baseline to compare against "
+        "(default: repository BENCH_localize.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown before failing (default: 0.25)",
+    )
+    parser.add_argument(
+        "--absolute",
+        action="store_true",
+        help="also compare absolute warm_s_per_fix (requires identical "
+        "scenarios; only meaningful on the machine that produced the "
+        "baseline)",
+    )
+    args = parser.parse_args(argv)
+    if args.tolerance < 0:
+        print("error: tolerance must be >= 0", file=sys.stderr)
+        return 2
+    try:
+        baseline = load_bench(args.baseline)
+        current = load_bench(args.current)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    problems = check(baseline, current, args.tolerance, args.absolute)
+    if problems:
+        for problem in problems:
+            print(f"REGRESSION: {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"bench guard ok: warm/direct {warm_ratio(current):.5f} vs "
+        f"baseline {warm_ratio(baseline):.5f} "
+        f"(+{args.tolerance * 100:.0f}% allowed)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,7 @@ Usage::
     python -m repro evaluate -n 40      # BLoc vs baselines over a dataset
     python -m repro floorplan           # render the default testbed
     python -m repro throughput          # Section 6 airtime budget
+    python -m repro diag fix.npz        # inspect / replay a fix bundle
 """
 
 from __future__ import annotations
@@ -103,9 +104,47 @@ def _run_evaluate(args) -> int:
         "AoA baseline": AoaLocalizer(),
         "shortest-distance": shortest_distance_localizer(),
     }
+    bundle_dir = getattr(args, "bundle_dir", None)
     for name, localizer in schemes.items():
-        run = evaluate(localizer, dataset, label=name, workers=args.workers)
+        capture = None
+        if bundle_dir and name == "BLoc":
+            from repro.obs import AnchorHealthMonitor
+            from repro.sim import DiagnosticsCapture
+
+            capture = DiagnosticsCapture(
+                directory=bundle_dir,
+                worst_n=getattr(args, "bundle_worst", 0),
+                capture_failures=True,
+                health=AnchorHealthMonitor(),
+            )
+        run = evaluate(
+            localizer,
+            dataset,
+            label=name,
+            workers=args.workers,
+            capture=capture,
+        )
         print(f"{name:<18} {run.stats().summary()}")
+        if capture is not None:
+            print(
+                f"[diag] wrote {len(capture.written)} fix bundle(s) "
+                f"to {bundle_dir}"
+            )
+            for event in capture.health.events:
+                print(f"[health] {event.kind}: {event.message}")
+    return 0
+
+
+def cmd_diag(args) -> int:
+    from repro.errors import ReproError
+    from repro.obs import load_fix_bundle, render_bundle
+
+    try:
+        bundle = load_fix_bundle(args.bundle)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_bundle(bundle, bands=args.bands, explain=args.explain))
     return 0
 
 
@@ -177,9 +216,41 @@ def main(argv=None) -> int:
     ev = sub.add_parser("evaluate", help="compare schemes over a dataset")
     ev.add_argument("-n", "--num", type=int, default=30)
     ev.add_argument("--seed", type=int, default=2018)
+    ev.add_argument(
+        "--bundle-dir",
+        metavar="DIR",
+        default=None,
+        help="capture per-fix diagnostics for the BLoc run and write "
+        "replayable fix bundles (failures + worst-N) into DIR",
+    )
+    ev.add_argument(
+        "--bundle-worst",
+        type=int,
+        default=3,
+        metavar="N",
+        help="with --bundle-dir: also bundle the N worst successful "
+        "fixes (default: 3)",
+    )
     add_obs_flags(ev)
     add_perf_flags(ev)
     ev.set_defaults(func=cmd_evaluate)
+
+    diag = sub.add_parser(
+        "diag", help="inspect and replay a captured fix bundle"
+    )
+    diag.add_argument("bundle", help="path to a fix-bundle .npz")
+    diag.add_argument(
+        "--explain",
+        action="store_true",
+        help="replay the fix offline and re-derive the winning peak, "
+        "comparing it against the recorded estimate",
+    )
+    diag.add_argument(
+        "--bands",
+        action="store_true",
+        help="include the per-band / per-anchor SNR table",
+    )
+    diag.set_defaults(func=cmd_diag)
 
     plan = sub.add_parser("floorplan", help="render the default testbed")
     plan.add_argument("--width", type=int, default=66)

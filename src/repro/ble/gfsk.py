@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -148,6 +148,10 @@ class GfskDemodulator:
     """
 
     samples_per_symbol: int = 8
+    #: Decision-level SNR [dB] of the most recent :meth:`demodulate` call
+    #: (None before the first call).  The measurement layer reads this to
+    #: attach per-(anchor, band) demodulation quality to its observations.
+    last_snr_db: Optional[float] = field(init=False, default=None)
 
     def __post_init__(self):
         if self.samples_per_symbol < 2:
@@ -179,6 +183,35 @@ class GfskDemodulator:
         central half of its symbol period, which tolerates moderate noise
         and residual filtering ISI.
         """
+        midspan = self._midspan(iq, num_bits)
+        snr_db = self._decision_snr_db(midspan)
+        self.last_snr_db = snr_db
+        observer = get_observer()
+        if observer.enabled:
+            observer.metrics.histogram(
+                "ble.demod_snr_db", STANDARD_METRICS["ble.demod_snr_db"][1]
+            ).observe(snr_db)
+            observer.metrics.counter("ble.demod_symbols").inc(num_bits)
+        return (midspan[:, 0] > 0).astype(np.uint8)
+
+    def decision_snr_db(self, iq: np.ndarray, num_bits: int) -> float:
+        """Decision-level SNR estimate [dB] without committing to bits.
+
+        Mean squared decision value vs in-symbol scatter around it: a
+        clean loopback saturates the estimate; interference/noise drags
+        it down long before the hard decisions start flipping.  Used by
+        the measurement layer to tag each (anchor, band) CSI cell with
+        the demodulation quality it was measured at.
+        """
+        return self._decision_snr_db(self._midspan(iq, num_bits))
+
+    def _midspan(self, iq: np.ndarray, num_bits: int) -> np.ndarray:
+        """Central-half discriminator samples per symbol + their means.
+
+        Returns an ``(num_bits, 1 + span)`` array whose first column is
+        the per-symbol decision value and remaining columns the raw
+        central-half samples it was averaged from.
+        """
         freq = self.discriminate(iq)
         sps = self.samples_per_symbol
         needed = num_bits * sps
@@ -189,28 +222,20 @@ class GfskDemodulator:
         per_symbol = freq[:needed].reshape(num_bits, sps)
         lo = sps // 4
         hi = sps - lo
-        midspan = per_symbol[:, lo:hi].mean(axis=1)
-        observer = get_observer()
-        if observer.enabled:
-            # Decision-level SNR estimate: mean squared decision value vs
-            # in-symbol scatter around it.  A clean loopback saturates the
-            # top bucket; interference/noise drags it down long before the
-            # hard decisions start flipping.
-            signal_power = float(np.mean(midspan**2))
-            noise_power = float(
-                np.mean((per_symbol[:, lo:hi] - midspan[:, None]) ** 2)
-            )
-            if signal_power <= 0.0:
-                snr_db = -60.0
-            else:
-                snr_db = 10.0 * math.log10(
-                    signal_power / max(noise_power, 1e-12 * signal_power)
-                )
-            observer.metrics.histogram(
-                "ble.demod_snr_db", STANDARD_METRICS["ble.demod_snr_db"][1]
-            ).observe(snr_db)
-            observer.metrics.counter("ble.demod_symbols").inc(num_bits)
-        return (midspan > 0).astype(np.uint8)
+        central = per_symbol[:, lo:hi]
+        return np.column_stack([central.mean(axis=1), central])
+
+    @staticmethod
+    def _decision_snr_db(midspan: np.ndarray) -> float:
+        decisions = midspan[:, 0]
+        central = midspan[:, 1:]
+        signal_power = float(np.mean(decisions**2))
+        noise_power = float(np.mean((central - decisions[:, None]) ** 2))
+        if signal_power <= 0.0:
+            return -60.0
+        return 10.0 * math.log10(
+            signal_power / max(noise_power, 1e-12 * signal_power)
+        )
 
 
 def frequency_error_rms(

@@ -120,6 +120,46 @@ def correct_phase_offsets(
     )
 
 
+def linear_phase_residual(alpha: np.ndarray) -> np.ndarray:
+    """Deviation of the corrected cross-band phase from its linear trend.
+
+    The paper's Fig. 8b shows that after Eq. 10 the phase across bands
+    must be "clearly linear"; whatever is left after removing the
+    per-(anchor, antenna) least-squares line is the *residual* the
+    cancellation failed to remove -- oscillator drift between the two
+    packets of an event, estimation noise, or a broken correction.
+
+    Args:
+        alpha: corrected channels, shape ``(I, J, K)``.
+
+    Returns:
+        Residual phase [rad], shape ``(I, J, K)``; all zeros when fewer
+        than 3 bands are available (a line fits 2 points exactly).
+    """
+    num_bands = alpha.shape[2]
+    phase = np.unwrap(np.angle(alpha), axis=2)
+    if num_bands < 3:
+        return np.zeros_like(phase)
+    x = np.arange(num_bands, dtype=float)
+    x = x - x.mean()
+    denom = float(np.sum(x**2))
+    flat = phase.reshape(-1, num_bands)
+    slopes = flat @ x / denom
+    fitted = slopes[:, None] * x[None, :] + flat.mean(axis=1, keepdims=True)
+    return (flat - fitted).reshape(phase.shape)
+
+
+def usable_band_mask(tag: np.ndarray) -> np.ndarray:
+    """Per-(anchor, band) mask of usable tag measurements, shape (I, K).
+
+    A cell is usable when every antenna's measurement is finite and the
+    anchor heard *something* on that band (non-zero total amplitude) --
+    the same criterion the coverage metric and the diagnostics layer use,
+    kept in one place so they can never disagree.
+    """
+    return np.isfinite(tag).all(axis=1) & (np.abs(tag).sum(axis=1) > 0)
+
+
 def _record_correction_metrics(observer, tag: np.ndarray, alpha: np.ndarray):
     """Per-hop diagnostics for Eq. 10 (only runs when observability is on).
 
@@ -133,7 +173,7 @@ def _record_correction_metrics(observer, tag: np.ndarray, alpha: np.ndarray):
       residual long before the final error budget notices.
     """
     num_bands = tag.shape[2]
-    usable = np.isfinite(tag).all(axis=1) & (np.abs(tag).sum(axis=1) > 0)
+    usable = usable_band_mask(tag)
     coverage = float(np.mean(usable))
     metrics = observer.metrics
     metrics.gauge("correction.hop_coverage").set(coverage)
@@ -142,17 +182,8 @@ def _record_correction_metrics(observer, tag: np.ndarray, alpha: np.ndarray):
     if missing_hops:
         metrics.counter("correction.hops_missing").inc(missing_hops)
     if num_bands >= 3:
-        phase = np.unwrap(np.angle(alpha), axis=2)  # (I, J, K)
-        x = np.arange(num_bands, dtype=float)
-        x = x - x.mean()
-        denom = float(np.sum(x**2))
-        flat = phase.reshape(-1, num_bands)
-        slopes = flat @ x / denom
-        fitted = slopes[:, None] * x[None, :] + flat.mean(
-            axis=1, keepdims=True
-        )
-        residual = flat - fitted  # (I*J, K)
-        per_hop_rms = np.sqrt(np.mean(residual**2, axis=0))
+        residual = linear_phase_residual(alpha)  # (I, J, K)
+        per_hop_rms = np.sqrt(np.mean(residual**2, axis=(0, 1)))
         histogram = metrics.histogram(
             "correction.residual_phase_rad",
             STANDARD_METRICS["correction.residual_phase_rad"][1],

@@ -27,6 +27,7 @@ from repro.core.peaks import Peak, PeakConfig, find_peaks, refine_peak_position
 from repro.core.scoring import ScoredPeak, ScoringConfig, score_peaks
 from repro.errors import ConfigurationError, LocalizationError
 from repro.obs import get_observer
+from repro.obs.diag import FixDiagnostics, FixDiagnosticsBuilder
 from repro.utils.gridmap import Grid2D
 from repro.utils.geometry2d import Point
 
@@ -76,11 +77,14 @@ class LocalizationResult:
             the *active* strategy).
         likelihood: the full likelihood map (kept for analysis; drop it
             for bulk runs with ``keep_map=False``).
+        diagnostics: per-stage signal-chain diagnostics, captured only
+            when ``locate(..., diagnostics=True)``.
     """
 
     position: Point
     scored_peaks: List[ScoredPeak]
     likelihood: Optional[LikelihoodMap] = None
+    diagnostics: Optional[FixDiagnostics] = None
 
     def error_m(self, ground_truth: Point) -> float:
         """Euclidean distance to a ground-truth position."""
@@ -161,29 +165,54 @@ class BlocLocalizer:
         self,
         observations: ChannelObservations,
         keep_map: bool = True,
+        diagnostics: bool = False,
     ) -> LocalizationResult:
         """Run the full pipeline on one observation set.
+
+        Args:
+            observations: the measured channels of one fix.
+            keep_map: retain the full likelihood map on the result.
+            diagnostics: capture per-stage
+                :class:`~repro.obs.diag.FixDiagnostics` on the result;
+                when the pipeline raises, the partial diagnostics (up to
+                the failing stage) are attached to the exception as
+                ``exc.diagnostics``.
 
         Raises:
             LocalizationError: when the likelihood map is degenerate.
         """
         observer = get_observer()
-        with observer.span("correct"):
-            corrected = self.correct(observations)
-        grid = self.grid_for(observations)
-        with observer.span("map_likelihood"):
-            likelihood = self.map_likelihood(corrected, grid)
-        with observer.span("pick_peak"):
-            scored = self.pick_peak(likelihood, corrected)
-        winner = scored[0]
-        position = winner.peak.position
-        if self.config.refine_peaks:
-            with observer.span("refine"):
-                position = refine_peak_position(
-                    likelihood.combined, grid, winner.peak
-                )
+        builder = FixDiagnosticsBuilder(observations) if diagnostics else None
+        try:
+            with observer.span("correct"):
+                corrected = self.correct(observations)
+            if builder is not None:
+                builder.on_corrected(observations, corrected)
+            grid = self.grid_for(observations)
+            with observer.span("map_likelihood"):
+                likelihood = self.map_likelihood(corrected, grid)
+            if builder is not None:
+                builder.on_likelihood(likelihood)
+            with observer.span("pick_peak"):
+                scored = self.pick_peak(likelihood, corrected)
+            if builder is not None:
+                builder.on_scored(scored, self.config.scoring)
+            winner = scored[0]
+            position = winner.peak.position
+            if self.config.refine_peaks:
+                with observer.span("refine"):
+                    position = refine_peak_position(
+                        likelihood.combined, grid, winner.peak
+                    )
+        except LocalizationError as exc:
+            if builder is not None:
+                exc.diagnostics = builder.build()
+            raise
+        if builder is not None:
+            builder.on_position(position)
         return LocalizationResult(
             position=position,
             scored_peaks=scored,
             likelihood=likelihood if keep_map else None,
+            diagnostics=builder.build() if builder is not None else None,
         )

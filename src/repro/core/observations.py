@@ -40,6 +40,10 @@ class ChannelObservations:
         tag_to_anchor: complex array, shape ``(I, J, K)``.
         master_to_anchor: complex array, shape ``(I, J, K)``.
         ground_truth: true tag position, when the testbed knows it.
+        band_snr_db: optional measured demodulation SNR per (anchor,
+            band) cell, shape ``(I, K)`` -- filled by the IQ-fidelity
+            measurement model, None at channel fidelity (the diagnostics
+            layer then estimates quality from the channels themselves).
     """
 
     anchors: List[Anchor]
@@ -48,11 +52,20 @@ class ChannelObservations:
     tag_to_anchor: np.ndarray
     master_to_anchor: np.ndarray
     ground_truth: Optional[Point] = None
+    band_snr_db: Optional[np.ndarray] = None
 
     def __post_init__(self):
         self.frequencies_hz = np.asarray(self.frequencies_hz, dtype=float)
         self.tag_to_anchor = np.asarray(self.tag_to_anchor, dtype=complex)
         self.master_to_anchor = np.asarray(self.master_to_anchor, dtype=complex)
+        if self.band_snr_db is not None:
+            self.band_snr_db = np.asarray(self.band_snr_db, dtype=float)
+            expected_quality = (len(self.anchors), self.frequencies_hz.size)
+            if self.band_snr_db.shape != expected_quality:
+                raise MeasurementError(
+                    f"band_snr_db shape {self.band_snr_db.shape} != "
+                    f"expected {expected_quality}"
+                )
         num_anchors = len(self.anchors)
         if num_anchors < 1:
             raise ConfigurationError("need at least one anchor")
@@ -116,6 +129,11 @@ class ChannelObservations:
             frequencies_hz=self.frequencies_hz[idx],
             tag_to_anchor=self.tag_to_anchor[:, :, idx],
             master_to_anchor=self.master_to_anchor[:, :, idx],
+            band_snr_db=(
+                self.band_snr_db[:, idx]
+                if self.band_snr_db is not None
+                else None
+            ),
         )
 
     def select_bandwidth(self, bandwidth_hz: float) -> "ChannelObservations":
@@ -172,4 +190,9 @@ class ChannelObservations:
             master_index=idx.index(self.master_index),
             tag_to_anchor=self.tag_to_anchor[arr],
             master_to_anchor=self.master_to_anchor[arr],
+            band_snr_db=(
+                self.band_snr_db[arr]
+                if self.band_snr_db is not None
+                else None
+            ),
         )

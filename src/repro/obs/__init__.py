@@ -24,12 +24,28 @@ from repro.obs.context import (
     observed,
     traced,
 )
+from repro.obs.diag import (
+    FixBundle,
+    FixDiagnostics,
+    FixDiagnosticsBuilder,
+    bundle_filename,
+    bundle_from_fix,
+    load_fix_bundle,
+    render_bundle,
+    save_fix_bundle,
+)
 from repro.obs.export import (
     export_ndjson,
+    format_table,
     load_ndjson,
     metrics_summary,
     span_summary,
     summary,
+)
+from repro.obs.health import (
+    AnchorHealthMonitor,
+    AnomalyEvent,
+    HealthThresholds,
 )
 from repro.obs.metrics import (
     COUNT_BUCKETS,
@@ -42,9 +58,15 @@ from repro.obs.metrics import (
 from repro.obs.trace import Span, Tracer
 
 __all__ = [
+    "AnchorHealthMonitor",
+    "AnomalyEvent",
     "COUNT_BUCKETS",
     "Counter",
+    "FixBundle",
+    "FixDiagnostics",
+    "FixDiagnosticsBuilder",
     "Gauge",
+    "HealthThresholds",
     "Histogram",
     "LATENCY_BUCKETS_S",
     "MetricsRegistry",
@@ -52,12 +74,18 @@ __all__ = [
     "STANDARD_METRICS",
     "Span",
     "Tracer",
+    "bundle_filename",
+    "bundle_from_fix",
     "export_ndjson",
+    "format_table",
     "get_observer",
     "install",
+    "load_fix_bundle",
     "load_ndjson",
     "metrics_summary",
     "observed",
+    "render_bundle",
+    "save_fix_bundle",
     "span_summary",
     "summary",
     "traced",

@@ -73,6 +73,11 @@ STANDARD_METRICS = {
     "engine.cache_misses": ("counter", None),
     "engine.cache_evictions": ("counter", None),
     "engine.build_s": ("histogram", LATENCY_BUCKETS_S),
+    "diag.bundles_written": ("counter", None),
+    "health.anomalies.band_outage": ("counter", None),
+    "health.anomalies.phase_offset_drift": ("counter", None),
+    "health.anomalies.low_snr": ("counter", None),
+    "health.anomalies.stale_anchor": ("counter", None),
 }
 
 

@@ -35,7 +35,17 @@ NDJSON_VERSION = 1
 
 
 def _json_safe(value):
-    """Make a value strict-JSON serialisable (NaN/Inf become None/str)."""
+    """Make a value strict-JSON serialisable (NaN/Inf become None/str).
+
+    Handles numpy scalars and arrays nested anywhere inside span
+    attributes: bools/ints/floats unwrap to their Python equivalents,
+    complex values become ``{"real": ..., "imag": ...}`` pairs, and
+    arrays become (nested) lists -- so diagnostics-rich spans never leak
+    ``str(ndarray)`` junk or non-JSON floats into an NDJSON export.
+    """
+    # np.bool_ is not a bool subclass; check it before the plain types.
+    if isinstance(value, np.bool_):
+        return bool(value)
     if isinstance(value, (bool, int, str)) or value is None:
         return value
     if isinstance(value, float):
@@ -45,9 +55,15 @@ def _json_safe(value):
     if isinstance(value, (np.floating,)):
         v = float(value)
         return v if math.isfinite(v) else None
+    if isinstance(value, (complex, np.complexfloating)):
+        c = complex(value)
+        return {"real": _json_safe(c.real), "imag": _json_safe(c.imag)}
+    if isinstance(value, np.ndarray):
+        # tolist() gives a bare scalar for 0-d arrays; recurse either way.
+        return _json_safe(value.tolist())
     if isinstance(value, dict):
         return {str(k): _json_safe(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple)):
+    if isinstance(value, (list, tuple, set, frozenset)):
         return [_json_safe(v) for v in value]
     return str(value)
 
@@ -120,7 +136,11 @@ def load_ndjson(path: Union[str, Path]) -> List[dict]:
     return records
 
 
-def _format_table(headers: Sequence[str], rows: List[Sequence[str]]) -> str:
+def format_table(headers: Sequence[str], rows: List[Sequence[str]]) -> str:
+    """Fixed-width text table (first column left-aligned, rest right).
+
+    Shared by the metrics/span summaries and the ``repro diag`` renderer.
+    """
     widths = [
         max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(h)
         for i, h in enumerate(headers)
@@ -162,7 +182,7 @@ def span_summary(spans: Sequence[Span]) -> str:
                 f"{np.percentile(durations, 95):.3f}",
             ]
         )
-    return _format_table(
+    return format_table(
         ["span", "count", "total ms", "mean ms", "p50 ms", "p95 ms"], rows
     )
 
@@ -193,7 +213,7 @@ def metrics_summary(registry: MetricsRegistry) -> str:
                 )
             else:
                 rows.append([inst.name, "histogram", "0", "-", "-", "-"])
-    return _format_table(
+    return format_table(
         ["metric", "kind", "value/count", "mean", "p50", "p95"], rows
     )
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 import itertools
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
@@ -109,7 +110,10 @@ class Tracer:
             name=name,
             span_id=next(self._ids),
             parent_id=parent.span_id if parent else None,
-            depth=len(stack),
+            # Derived from the parent, not the stack length: a worker
+            # thread seeded via :meth:`attached` holds only the borrowed
+            # parent, yet its children must report the true tree depth.
+            depth=parent.depth + 1 if parent else 0,
             start_s=self.clock(),
             attributes=dict(attributes),
             thread=threading.current_thread().name,
@@ -134,6 +138,35 @@ class Tracer:
         """The current thread's innermost open span."""
         stack = self._stack()
         return stack[-1] if stack else None
+
+    @contextmanager
+    def attached(self, parent: Optional[Span]):
+        """Adopt ``parent`` as this thread's active span for a block.
+
+        The active-span stack is thread-local, so work handed to a pool
+        thread loses its caller's span context and every span it opens
+        becomes an orphaned root.  Wrapping the worker body in
+        ``tracer.attached(parent)`` seeds the worker's stack with the
+        caller's span: spans opened inside nest under ``parent`` exactly
+        as they would have on the calling thread.  The parent span is
+        *borrowed*, never finished here -- only its owning thread's
+        context manager closes it.  ``parent=None`` is a no-op, so
+        callers can pass ``tracer.active()`` straight through.
+        """
+        if parent is None:
+            yield
+            return
+        stack = self._stack()
+        stack.append(parent)
+        try:
+            yield
+        finally:
+            # Pop by identity: a misnested child span that leaked onto
+            # the stack must not unbalance the caller's context.
+            if stack and stack[-1] is parent:
+                stack.pop()
+            elif parent in stack:
+                stack.remove(parent)
 
     def finished(self) -> List[Span]:
         """Snapshot of all completed spans, completion order."""

@@ -10,6 +10,7 @@ from repro.sim.interference import (
     WifiNetwork,
     affected_data_channels,
     blacklist_map,
+    inject_band_outage,
 )
 from repro.sim.measurement import ChannelMeasurementModel, IqMeasurementModel
 from repro.sim.metrics import (
@@ -20,6 +21,7 @@ from repro.sim.metrics import (
     spatial_rmse_map,
 )
 from repro.sim.runner import (
+    DiagnosticsCapture,
     EvaluationRecord,
     EvaluationRun,
     evaluate,
@@ -34,6 +36,7 @@ from repro.sim.testbed import Testbed, open_room_testbed, vicon_testbed
 
 __all__ = [
     "ChannelMeasurementModel",
+    "DiagnosticsCapture",
     "ErrorStats",
     "EvaluationDataset",
     "EvaluationRecord",
@@ -51,6 +54,7 @@ __all__ = [
     "evaluate_anchor_subsets",
     "format_comparison_row",
     "grid_tag_positions",
+    "inject_band_outage",
     "open_room_testbed",
     "sample_tag_positions",
     "spatial_rmse_map",

@@ -26,6 +26,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.ble.channels import ChannelMap, data_channel_to_frequency
+from repro.ble.gfsk import GfskDemodulator
 from repro.ble.link_layer import Connection, establish_connection
 from repro.core.csi import extract_band_csi
 from repro.core.observations import ChannelObservations
@@ -311,6 +312,10 @@ class IqMeasurementModel:
             (num_anchors, num_antennas, freqs.size), dtype=complex
         )
         master_to_anchor = np.zeros_like(tag_to_anchor)
+        band_snr_db = np.full((num_anchors, freqs.size), np.nan)
+        demodulator = GfskDemodulator(
+            samples_per_symbol=self.samples_per_symbol
+        )
         master_tx_pos = self.testbed.master.antenna_position(0)
         for k, channel in enumerate(channels_sorted):
             event = events_by_channel[channel]
@@ -335,6 +340,17 @@ class IqMeasurementModel:
                         f"{channel}: {exc}"
                     ) from exc
                 tag_to_anchor[i, :, k] = csi.channels
+                # Demodulation quality of the CSI-bearing packet: the
+                # decision-level SNR on the reference antenna, kept per
+                # (anchor, band) for the diagnostics layer.
+                num_bits = min(
+                    len(event.slave_packet.bits),
+                    aligned.num_samples // self.samples_per_symbol,
+                )
+                if num_bits >= 8:
+                    band_snr_db[i, k] = demodulator.decision_snr_db(
+                        aligned.antenna(0), num_bits
+                    )
                 if i != master_index:
                     response = front_end.transmit(
                         event.master_packet,
@@ -360,4 +376,5 @@ class IqMeasurementModel:
             tag_to_anchor=tag_to_anchor,
             master_to_anchor=master_to_anchor,
             ground_truth=tag,
+            band_snr_db=band_snr_db,
         )

@@ -16,16 +16,34 @@ serial ones without contending on one registry per fix.
 
 from __future__ import annotations
 
+import inspect
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Protocol, Sequence
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
 from repro.core.observations import ChannelObservations
 from repro.errors import ConfigurationError, LocalizationError
 from repro.obs import LATENCY_BUCKETS_S, MetricsRegistry, get_observer
+from repro.obs.diag import (
+    FixDiagnostics,
+    bundle_filename,
+    bundle_from_fix,
+    save_fix_bundle,
+)
+from repro.obs.health import AnchorHealthMonitor
 from repro.sim.dataset import EvaluationDataset
 from repro.sim.metrics import ErrorStats
 from repro.utils.geometry2d import Point
@@ -103,6 +121,127 @@ class EvaluationRun:
         ]
 
 
+@dataclass
+class DiagnosticsCapture:
+    """Opt-in per-fix diagnostics collection for :func:`evaluate`.
+
+    When passed to :func:`evaluate` (and the localizer supports
+    ``locate(..., diagnostics=True)``, which BLoc does), every fix's
+    :class:`~repro.obs.diag.FixDiagnostics` is collected; after the
+    sweep they are fed -- in dataset order -- to the optional
+    :class:`~repro.obs.health.AnchorHealthMonitor`, and the interesting
+    fixes (every failure, plus the ``worst_n`` largest finite errors)
+    are frozen to replayable fix bundles under ``directory``.
+
+    Attributes:
+        directory: where to write ``<label>-<index>.npz`` bundles; None
+            collects diagnostics (for the health monitor) without
+            writing any files.
+        worst_n: bundle the N worst successful fixes (0: none).
+        capture_failures: bundle every failed fix.
+        health: optional anchor health monitor to feed.
+        written: paths of the bundles written, filled by the sweep.
+    """
+
+    directory: Optional[Union[str, Path]] = None
+    worst_n: int = 0
+    capture_failures: bool = True
+    health: Optional[AnchorHealthMonitor] = None
+    written: List[Path] = field(default_factory=list)
+    _collected: Dict[
+        int, Tuple[ChannelObservations, Optional[FixDiagnostics]]
+    ] = field(default_factory=dict, repr=False)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False
+    )
+
+    def collect(
+        self,
+        fix_index: int,
+        observations: ChannelObservations,
+        diagnostics: Optional[FixDiagnostics],
+    ) -> None:
+        """Record one fix's material (thread-safe; workers call this)."""
+        with self._lock:
+            self._collected[fix_index] = (observations, diagnostics)
+
+    def diagnostics_for(self, fix_index: int) -> Optional[FixDiagnostics]:
+        """The captured diagnostics of one fix (None if not captured)."""
+        entry = self._collected.get(fix_index)
+        return entry[1] if entry is not None else None
+
+
+def _accepts_diagnostics(localizer: Localizer) -> bool:
+    """Whether ``localizer.locate`` takes a ``diagnostics`` keyword."""
+    try:
+        return "diagnostics" in inspect.signature(localizer.locate).parameters
+    except (TypeError, ValueError):
+        return False
+
+
+def _finalize_capture(
+    capture: DiagnosticsCapture,
+    localizer: Localizer,
+    label: str,
+    records: List["EvaluationRecord"],
+) -> None:
+    """Post-sweep: feed the health monitor, write the chosen bundles."""
+    observer = get_observer()
+    if capture.health is not None:
+        for index in sorted(capture._collected):
+            diag = capture._collected[index][1]
+            if diag is not None:
+                capture.health.observe(diag, index)
+    if capture.directory is None:
+        return
+    # Bundles replay through the bundled config, so only a localizer
+    # exposing one (BLoc) can be frozen; stubs just skip this step.
+    if not (hasattr(localizer, "config") and hasattr(localizer, "engine")):
+        return
+    chosen = set()
+    if capture.capture_failures:
+        chosen |= {
+            i
+            for i, r in enumerate(records)
+            if not np.isfinite(r.error_m)
+        }
+    if capture.worst_n > 0:
+        finite = sorted(
+            (
+                (r.error_m, i)
+                for i, r in enumerate(records)
+                if np.isfinite(r.error_m)
+            ),
+            reverse=True,
+        )
+        chosen |= {i for _, i in finite[: capture.worst_n]}
+    chosen &= set(capture._collected)
+    if not chosen:
+        return
+    directory = Path(capture.directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for index in sorted(chosen):
+        observations, diag = capture._collected[index]
+        record = records[index]
+        bundle = bundle_from_fix(
+            observations,
+            localizer,
+            label=label,
+            fix_index=index,
+            estimate=record.estimate,
+            error_m=(
+                record.error_m if np.isfinite(record.error_m) else None
+            ),
+            failure_reason=record.failure_reason,
+            diagnostics=diag,
+        )
+        path = directory / bundle_filename(label, index)
+        save_fix_bundle(path, bundle)
+        capture.written.append(path)
+        if observer.enabled:
+            observer.metrics.counter("diag.bundles_written").inc()
+
+
 def _resolve_workers(workers: Optional[int]) -> int:
     """Validate and default the worker count (None means serial)."""
     if workers is None:
@@ -160,10 +299,19 @@ def _sweep(entries: Sequence, run_fix, workers: int) -> List[EvaluationRecord]:
             for index, entry in enumerate(entries)
         ]
     worker_metrics = _WorkerRegistries() if observer.enabled else None
+    # The active-span stack is thread-local: without re-attaching the
+    # caller's span in each worker, every per-fix span under workers=N
+    # would be an orphaned root instead of a child of the evaluation
+    # span.  The parent is borrowed read-only, so sharing it across
+    # workers is safe.
+    parent = observer.tracer.active() if observer.enabled else None
 
     def job(item):
         index, entry = item
         metrics = worker_metrics.current() if worker_metrics else None
+        if parent is not None:
+            with observer.tracer.attached(parent):
+                return run_fix(index, entry, metrics)
         return run_fix(index, entry, metrics)
 
     with ThreadPoolExecutor(
@@ -184,6 +332,7 @@ def evaluate(
     ] = None,
     limit: Optional[int] = None,
     workers: Optional[int] = None,
+    capture: Optional[DiagnosticsCapture] = None,
 ) -> EvaluationRun:
     """Run a localizer over every dataset entry.
 
@@ -199,6 +348,11 @@ def evaluate(
             metrics are merged into the active observer (see module
             docstring); the localizer must tolerate concurrent
             ``locate`` calls, which BLoc and the baselines do.
+        capture: opt-in per-fix diagnostics collection; see
+            :class:`DiagnosticsCapture`.  Fix bundles for failures and
+            the worst-N fixes are written after the sweep, and the
+            capture's health monitor (when set) sees every fix's
+            diagnostics in dataset order.
 
     A fix that raises :class:`~repro.errors.LocalizationError` is recorded
     as failed rather than aborting the run -- a localizer that cannot
@@ -211,25 +365,39 @@ def evaluate(
         if limit is not None
         else dataset.observations
     )
+    with_diagnostics = capture is not None and _accepts_diagnostics(
+        localizer
+    )
 
     def run_fix(fix_index, observations, metrics):
         if transform is not None:
             observations = transform(observations)
         truth = observations.ground_truth
         failure_reason = None
+        diagnostics = None
         with observer.span("fix", index=fix_index, label=label) as span:
             try:
-                result = localizer.locate(observations, keep_map=False)
+                if with_diagnostics:
+                    result = localizer.locate(
+                        observations, keep_map=False, diagnostics=True
+                    )
+                    diagnostics = result.diagnostics
+                else:
+                    result = localizer.locate(observations, keep_map=False)
                 estimate = result.position
                 error = (estimate - truth).norm()
             except LocalizationError as exc:
                 estimate = None
                 error = float("inf")
                 failure_reason = str(exc)
+                # A failing locate() attaches the stages it completed.
+                diagnostics = getattr(exc, "diagnostics", None)
                 if metrics is not None:
                     metrics.counter(
                         f"eval.failures.{type(exc).__name__}"
                     ).inc()
+        if capture is not None:
+            capture.collect(fix_index, observations, diagnostics)
         if metrics is not None:
             metrics.counter("eval.fixes_total").inc()
             metrics.histogram(
@@ -242,9 +410,10 @@ def evaluate(
             failure_reason=failure_reason,
         )
 
-    return EvaluationRun(
-        label=label, records=_sweep(entries, run_fix, workers)
-    )
+    records = _sweep(entries, run_fix, workers)
+    if capture is not None:
+        _finalize_capture(capture, localizer, label, records)
+    return EvaluationRun(label=label, records=records)
 
 
 def evaluate_anchor_subsets(

@@ -91,3 +91,53 @@ class TestCliObservability:
         out = capsys.readouterr().out
         assert "span timings" not in out
         assert get_observer().enabled is False
+
+
+class TestCliDiagnostics:
+    def test_evaluate_writes_bundles_and_diag_replays(
+        self, capsys, tmp_path
+    ):
+        bundle_dir = tmp_path / "bundles"
+        assert (
+            main(
+                [
+                    "evaluate",
+                    "-n",
+                    "3",
+                    "--bundle-dir",
+                    str(bundle_dir),
+                    "--bundle-worst",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "[diag] wrote 2 fix bundle(s)" in out
+        bundles = sorted(bundle_dir.glob("*.npz"))
+        assert len(bundles) == 2
+        assert main(["diag", str(bundles[0]), "--explain", "--bands"]) == 0
+        report = capsys.readouterr().out
+        assert "fix bundle" in report
+        assert (
+            "bit-exact match with recorded estimate" in report
+            or "matches recorded outcome" in report
+        )
+
+    def test_diag_missing_bundle_errors(self, capsys, tmp_path):
+        assert main(["diag", str(tmp_path / "absent.npz")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_diag_rejects_garbage_file(self, capsys, tmp_path):
+        junk = tmp_path / "junk.npz"
+        junk.write_bytes(b"definitely not a bundle")
+        assert main(["diag", str(junk)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_evaluate_without_bundle_dir_writes_nothing(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        assert main(["evaluate", "-n", "2"]) == 0
+        assert "[diag]" not in capsys.readouterr().out
+        assert list(tmp_path.glob("*.npz")) == []

@@ -4,8 +4,10 @@ from __future__ import annotations
 
 import json
 
+import numpy as np
 import pytest
 
+from repro.obs.export import _json_safe
 from repro.obs import (
     Observability,
     export_ndjson,
@@ -92,6 +94,51 @@ class TestNdjson:
         empty.write_text("")
         with pytest.raises(ValueError):
             load_ndjson(empty)
+
+
+class TestJsonSafe:
+    """Numpy-aware sanitisation behind every NDJSON/bundle-meta line."""
+
+    def test_numpy_bool_becomes_python_bool(self):
+        out = _json_safe(np.bool_(True))
+        assert out is True and type(out) is bool
+
+    def test_numpy_scalars_unwrap(self):
+        assert _json_safe(np.int32(7)) == 7
+        assert type(_json_safe(np.int64(7))) is int
+        assert _json_safe(np.float64(1.5)) == 1.5
+        assert type(_json_safe(np.float32(1.5))) is float
+
+    def test_non_finite_floats_become_none(self):
+        assert _json_safe(float("nan")) is None
+        assert _json_safe(np.float64("inf")) is None
+        assert _json_safe(-np.inf) is None
+
+    def test_zero_d_array_unwraps_to_scalar(self):
+        assert _json_safe(np.array(3.5)) == 3.5
+        assert _json_safe(np.array(np.nan)) is None
+
+    def test_nested_arrays_become_lists(self):
+        out = _json_safe({"m": np.array([[1.0, np.nan], [2.0, 3.0]])})
+        assert out == {"m": [[1.0, None], [2.0, 3.0]]}
+
+    def test_complex_becomes_real_imag_pair(self):
+        assert _json_safe(np.complex128(1 + 2j)) == {"real": 1.0, "imag": 2.0}
+        assert _json_safe(complex("inf")) == {"real": None, "imag": 0.0}
+
+    def test_containers_and_fallback(self):
+        assert _json_safe((1, 2)) == [1, 2]
+        assert _json_safe({np.int64(3): "v"}) == {"3": "v"}
+        assert isinstance(_json_safe(object()), str)
+
+    def test_result_passes_strict_json(self):
+        payload = {
+            "flags": np.array([True, False]),
+            "snr": np.array([1.0, np.inf]),
+            "gain": np.complex64(0.5 - 0.5j),
+        }
+        text = json.dumps(_json_safe(payload), allow_nan=False)
+        assert json.loads(text)["snr"] == [1.0, None]
 
 
 class TestSummaries:

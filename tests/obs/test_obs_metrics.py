@@ -212,3 +212,45 @@ class TestMerge:
         worker.gauge("x").set(1.0)
         with pytest.raises(ConfigurationError):
             main.merge(worker)
+
+    def test_merge_of_empty_registries_is_noop(self):
+        main = MetricsRegistry()
+        assert main.merge(MetricsRegistry()) is main
+        assert len(main) == 0
+
+    def test_merge_empty_into_populated_preserves_values(self):
+        main = MetricsRegistry()
+        main.counter("c").inc(2)
+        main.histogram("h", (1, 2)).observe(0.5)
+        main.merge(MetricsRegistry())
+        assert main.counter("c").value == 2
+        assert main.histogram("h", (1, 2)).count == 1
+
+    def test_registry_merge_mismatched_histogram_edges_raises(self):
+        main, worker = MetricsRegistry(), MetricsRegistry()
+        main.histogram("h", (1.0, 2.0))
+        worker.histogram("h", (1.0, 3.0)).observe(0.5)
+        with pytest.raises(ConfigurationError):
+            main.merge(worker)
+
+    def test_merge_after_snapshot_reflects_new_observations(self):
+        main, worker = MetricsRegistry(), MetricsRegistry()
+        main.counter("c").inc(1)
+        before = {s["name"]: s for s in main.snapshot()}
+        assert before["c"]["value"] == 1
+        worker.counter("c").inc(4)
+        worker.histogram("late", (1,)).observe(0.5)
+        main.merge(worker)
+        after = {s["name"]: s for s in main.snapshot()}
+        assert after["c"]["value"] == 5
+        assert after["late"]["count"] == 1
+        # The earlier snapshot is plain data: unaffected by the merge.
+        assert before["c"]["value"] == 1
+
+    def test_merge_same_worker_twice_double_counts(self):
+        # Callers must merge each worker registry exactly once; the
+        # registry itself does not dedupe.
+        main, worker = MetricsRegistry(), MetricsRegistry()
+        worker.counter("c").inc(3)
+        main.merge(worker).merge(worker)
+        assert main.counter("c").value == 6

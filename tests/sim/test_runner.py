@@ -333,3 +333,162 @@ class TestAnchorSubsets:
         assert all(
             r.failure_reason is not None for r in run.records
         )
+
+
+class TestParallelSpanPropagation:
+    def test_fix_spans_parent_under_caller_span(self, dataset):
+        from repro.obs import observed
+
+        with observed() as obs:
+            with obs.span("session") as session:
+                evaluate(PerfectOracle(), dataset, workers=3)
+        fixes = [s for s in obs.tracer.finished() if s.name == "fix"]
+        assert len(fixes) == len(dataset)
+        assert {s.parent_id for s in fixes} == {session.span_id}
+        assert {s.depth for s in fixes} == {session.depth + 1}
+        # Workers really ran the fixes, yet parentage survived the hop.
+        assert len({s.thread for s in fixes}) >= 1
+
+    def test_serial_and_parallel_same_span_tree_shape(self, dataset):
+        from repro.obs import observed
+
+        def tree(workers):
+            with observed() as obs:
+                with obs.span("session"):
+                    evaluate(PerfectOracle(), dataset, workers=workers)
+            return sorted(
+                (s.name, s.depth)
+                for s in obs.tracer.finished()
+            )
+
+        assert tree(1) == tree(4)
+
+
+class TestDiagnosticsCapture:
+    @pytest.fixture(scope="class")
+    def bloc(self):
+        from repro import BlocConfig, BlocLocalizer
+
+        return BlocLocalizer(config=BlocConfig(grid_resolution_m=0.15))
+
+    @pytest.fixture(scope="class")
+    def small_dataset(self):
+        return build_dataset(
+            open_room_testbed(), num_positions=3, seed=21
+        )
+
+    def test_stub_localizer_collects_but_writes_nothing(
+        self, dataset, tmp_path
+    ):
+        from repro.sim import DiagnosticsCapture
+
+        capture = DiagnosticsCapture(directory=tmp_path, worst_n=2)
+        run = evaluate(PerfectOracle(), dataset, capture=capture)
+        assert run.num_failed == 0
+        # Stubs expose no config/engine, so nothing can be bundled ...
+        assert capture.written == []
+        assert list(tmp_path.iterdir()) == []
+        # ... but collection itself still happened (without diagnostics).
+        assert capture.diagnostics_for(0) is None
+
+    def test_bloc_writes_worst_n_bundles(
+        self, bloc, small_dataset, tmp_path
+    ):
+        from repro.obs import load_fix_bundle
+        from repro.sim import DiagnosticsCapture
+
+        capture = DiagnosticsCapture(directory=tmp_path, worst_n=2)
+        run = evaluate(bloc, small_dataset, label="BLoc", capture=capture)
+        assert len(capture.written) == 2
+        errors = [r.error_m for r in run.records]
+        worst = sorted(
+            range(len(errors)), key=lambda i: errors[i], reverse=True
+        )[:2]
+        for path in capture.written:
+            assert path.exists()
+            bundle = load_fix_bundle(path)
+            assert bundle.fix_index in worst
+            assert bundle.label == "BLoc"
+            assert bundle.diagnostics is not None
+            assert bundle.diagnostics.stage_reached == "located"
+            assert bundle.error_m == pytest.approx(
+                errors[bundle.fix_index]
+            )
+
+    def test_capture_feeds_health_monitor_every_fix(
+        self, bloc, small_dataset
+    ):
+        from repro.obs import AnchorHealthMonitor
+        from repro.sim import DiagnosticsCapture
+
+        monitor = AnchorHealthMonitor()
+        capture = DiagnosticsCapture(health=monitor)
+        evaluate(bloc, small_dataset, capture=capture)
+        rows = monitor.summary_rows()
+        assert len(rows) == small_dataset.observations[0].num_anchors
+        assert all(row[1] == str(len(small_dataset)) for row in rows)
+
+    def test_failed_fixes_bundled_with_reason(
+        self, bloc, small_dataset, tmp_path
+    ):
+        from repro.obs import load_fix_bundle
+        from repro.sim import DiagnosticsCapture
+
+        class BrokenBloc:
+            """Real BLoc config/engine, but every fix fails."""
+
+            def __init__(self, inner):
+                self.config = inner.config
+                self.engine = inner.engine
+                self.bounds = getattr(inner, "bounds", None)
+
+            def locate(self, observations, keep_map=True,
+                       diagnostics=False):
+                raise LocalizationError("forced failure")
+
+        capture = DiagnosticsCapture(
+            directory=tmp_path, worst_n=0, capture_failures=True
+        )
+        run = evaluate(
+            BrokenBloc(bloc), small_dataset, label="broken",
+            capture=capture,
+        )
+        assert run.num_failed == len(small_dataset)
+        assert len(capture.written) == len(small_dataset)
+        bundle = load_fix_bundle(capture.written[0])
+        assert bundle.failure_reason == "forced failure"
+        assert bundle.estimate_xy is None
+        assert bundle.error_m is None
+
+    def test_parallel_capture_matches_serial(
+        self, bloc, small_dataset, tmp_path
+    ):
+        from repro.sim import DiagnosticsCapture
+
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+        serial = DiagnosticsCapture(directory=serial_dir, worst_n=1)
+        parallel = DiagnosticsCapture(directory=parallel_dir, worst_n=1)
+        evaluate(bloc, small_dataset, label="x", capture=serial)
+        evaluate(
+            bloc, small_dataset, label="x", capture=parallel, workers=3
+        )
+        assert [p.name for p in serial.written] == [
+            p.name for p in parallel.written
+        ]
+        assert (
+            serial.written[0].read_bytes()
+            == parallel.written[0].read_bytes()
+        )
+
+    def test_bundle_counter_incremented_under_observer(
+        self, bloc, small_dataset, tmp_path
+    ):
+        from repro.obs import observed
+        from repro.sim import DiagnosticsCapture
+
+        capture = DiagnosticsCapture(directory=tmp_path, worst_n=2)
+        with observed() as obs:
+            evaluate(bloc, small_dataset, capture=capture)
+        counter = obs.metrics.get("diag.bundles_written")
+        assert counter is not None and counter.value == 2

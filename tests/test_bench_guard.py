@@ -1,0 +1,160 @@
+"""Tests for benchmarks/check_bench_regression.py (the CI bench guard).
+
+The guard lives outside the installed package (it is a CI script), so
+it is loaded straight from its file path.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = (
+    Path(__file__).resolve().parents[1]
+    / "benchmarks"
+    / "check_bench_regression.py"
+)
+_spec = importlib.util.spec_from_file_location("bench_guard", _SCRIPT)
+guard = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(guard)
+
+
+def payload(warm=0.01, direct=0.2, **scenario):
+    base_scenario = {
+        "anchors": 4,
+        "antennas": 4,
+        "bands": 40,
+        "grid_points": 10000,
+        "fixes": 8,
+    }
+    base_scenario.update(scenario)
+    return {
+        "benchmark": "localize",
+        "scenario": base_scenario,
+        "steering_cache": {
+            "warm_s_per_fix": warm,
+            "direct_s_per_fix": direct,
+        },
+    }
+
+
+def write(tmp_path, name, data):
+    path = tmp_path / name
+    path.write_text(json.dumps(data), encoding="utf-8")
+    return path
+
+
+class TestLoadBench:
+    def test_valid_payload_loads(self, tmp_path):
+        path = write(tmp_path, "ok.json", payload())
+        assert guard.load_bench(path)["benchmark"] == "localize"
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            guard.load_bench(tmp_path / "absent.json")
+
+    def test_malformed_json_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ValueError):
+            guard.load_bench(path)
+
+    def test_wrong_benchmark_kind_raises(self, tmp_path):
+        data = payload()
+        data["benchmark"] = "other"
+        with pytest.raises(ValueError):
+            guard.load_bench(write(tmp_path, "wrong.json", data))
+
+    @pytest.mark.parametrize("key", ["warm_s_per_fix", "direct_s_per_fix"])
+    def test_nonpositive_timing_raises(self, tmp_path, key):
+        data = payload()
+        data["steering_cache"][key] = 0.0
+        with pytest.raises(ValueError):
+            guard.load_bench(write(tmp_path, "zero.json", data))
+
+
+class TestCheck:
+    def test_identical_payloads_pass(self):
+        assert guard.check(payload(), payload(), tolerance=0.25) == []
+
+    def test_slowdown_within_tolerance_passes(self):
+        current = payload(warm=0.012)  # ratio 0.06 vs baseline 0.05
+        assert guard.check(payload(), current, tolerance=0.25) == []
+
+    def test_ratio_regression_fails(self):
+        current = payload(warm=0.02)  # ratio doubled
+        problems = guard.check(payload(), current, tolerance=0.25)
+        assert len(problems) == 1
+        assert "warm/direct ratio regressed" in problems[0]
+
+    def test_machine_speed_cancels_in_ratio(self):
+        # A 10x slower machine scales both paths: the guard stays quiet.
+        slow = payload(warm=0.1, direct=2.0)
+        assert guard.check(payload(), slow, tolerance=0.25) == []
+
+    def test_absolute_requires_matching_scenarios(self):
+        current = payload(grid_points=400)
+        problems = guard.check(
+            payload(), current, tolerance=0.25, absolute=True
+        )
+        assert any("scenarios differ" in p for p in problems)
+
+    def test_absolute_catches_flat_ratio_regression(self):
+        # Both paths slowed equally on the same machine/scenario: the
+        # ratio hides it, --absolute does not.
+        current = payload(warm=0.05, direct=1.0)
+        assert guard.check(payload(), current, tolerance=0.25) == []
+        problems = guard.check(
+            payload(), current, tolerance=0.25, absolute=True
+        )
+        assert any("warm_s_per_fix regressed" in p for p in problems)
+
+
+class TestMain:
+    def test_pass_exits_zero(self, tmp_path, capsys):
+        base = write(tmp_path, "base.json", payload())
+        cur = write(tmp_path, "cur.json", payload())
+        assert guard.main([str(cur), "--baseline", str(base)]) == 0
+        assert "bench guard ok" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, tmp_path, capsys):
+        base = write(tmp_path, "base.json", payload())
+        cur = write(tmp_path, "cur.json", payload(warm=0.05))
+        assert guard.main([str(cur), "--baseline", str(base)]) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_bad_input_exits_two(self, tmp_path, capsys):
+        base = write(tmp_path, "base.json", payload())
+        assert (
+            guard.main(
+                [str(tmp_path / "absent.json"), "--baseline", str(base)]
+            )
+            == 2
+        )
+        assert "error:" in capsys.readouterr().err
+
+    def test_negative_tolerance_exits_two(self, tmp_path):
+        base = write(tmp_path, "base.json", payload())
+        cur = write(tmp_path, "cur.json", payload())
+        assert (
+            guard.main(
+                [
+                    str(cur),
+                    "--baseline",
+                    str(base),
+                    "--tolerance",
+                    "-0.1",
+                ]
+            )
+            == 2
+        )
+
+    def test_default_baseline_is_committed_file(self):
+        assert guard.DEFAULT_BASELINE.name == "BENCH_localize.json"
+        assert guard.DEFAULT_BASELINE.exists()
+
+    def test_committed_baseline_passes_against_itself(self, capsys):
+        assert guard.main([str(guard.DEFAULT_BASELINE)]) == 0
