@@ -7,6 +7,7 @@ Usage::
     python -m repro floorplan           # render the default testbed
     python -m repro throughput          # Section 6 airtime budget
     python -m repro diag fix.npz        # inspect / replay a fix bundle
+    python -m repro lint src            # repo-specific static analysis
 """
 
 from __future__ import annotations
@@ -148,6 +149,12 @@ def cmd_diag(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.analysis.cli import run_lint
+
+    return run_lint(args)
+
+
 def cmd_floorplan(args) -> int:
     print(render_testbed(vicon_testbed(), width=args.width))
     print("M = master anchor, A = anchors, # = reflectors/clutter")
@@ -251,6 +258,14 @@ def main(argv=None) -> int:
         help="include the per-band / per-anchor SNR table",
     )
     diag.set_defaults(func=cmd_diag)
+
+    lint = sub.add_parser(
+        "lint", help="run the RPR rule set (repo-specific static analysis)"
+    )
+    from repro.analysis.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
+    lint.set_defaults(func=cmd_lint)
 
     plan = sub.add_parser("floorplan", help="render the default testbed")
     plan.add_argument("--width", type=int, default=66)

@@ -1,0 +1,54 @@
+"""Repo-specific static analysis and runtime contracts.
+
+BLoc's correctness rests on invariants the Python type system cannot
+express: phase math must stay complex128 end-to-end, physics code must be
+deterministic under an injected RNG, and the thread-pooled evaluation
+paths must not mutate shared state unlocked.  This package holds the
+tooling that enforces those invariants *before* they show up as a bench
+regression:
+
+* :mod:`repro.analysis.linting` -- an AST lint engine with pluggable
+  rules and per-line ``# repro: noqa[RULE]`` suppression, driven by the
+  ``repro lint`` CLI subcommand.
+* :mod:`repro.analysis.rules` -- the RPR001..RPR010 rule set, each one
+  grounded in a real hazard of this codebase (see DESIGN.md).
+* :mod:`repro.analysis.contracts` -- the env-gated ``@shaped`` runtime
+  shape/dtype contract decorator applied to the hottest core/rf
+  signatures (zero cost unless ``REPRO_CONTRACTS`` is set; the test
+  suite enables it).
+* :mod:`repro.analysis.ratchet` -- the typing ratchet: per-module error
+  counts (mypy when available, a built-in annotation-coverage checker
+  otherwise) compared against the committed ``typing_baseline.json`` so
+  annotation coverage only moves forward.
+"""
+
+from repro.analysis.contracts import (
+    CONTRACTS_ENV_VAR,
+    ArraySpec,
+    arr,
+    contracts_enabled,
+    shaped,
+)
+from repro.analysis.linting import (
+    Finding,
+    LintEngine,
+    LintReport,
+    Rule,
+    parse_noqa,
+)
+from repro.analysis.rules import ALL_RULES, default_rules
+
+__all__ = [
+    "ALL_RULES",
+    "ArraySpec",
+    "CONTRACTS_ENV_VAR",
+    "Finding",
+    "LintEngine",
+    "LintReport",
+    "Rule",
+    "arr",
+    "contracts_enabled",
+    "default_rules",
+    "parse_noqa",
+    "shaped",
+]

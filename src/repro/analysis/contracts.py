@@ -1,0 +1,182 @@
+"""Runtime shape/dtype contracts for the hot numeric signatures.
+
+The Python type system cannot see that ``alpha`` must be a complex128
+``(I, J, K)`` array or that a steering block must be ``(N, K)``; a
+silent shape broadcast or dtype downcast instead produces a *wrong
+answer*, not an exception.  The :func:`shaped` decorator turns those
+invariants into checks::
+
+    @shaped(dtype=np.complexfloating, alpha=("I", "J", "K"))
+    def linear_phase_residual(alpha): ...
+
+Dimension tokens are strings bound on first use and checked for
+consistency across every parameter of the same call, integers are exact
+sizes, and ``None`` matches anything.  Dtypes are checked with
+``np.issubdtype`` so an abstract kind (``np.complexfloating``,
+``np.floating``) accepts any width of that kind while a concrete dtype
+(``np.complex128``) demands an exact match.
+
+The whole layer is **zero-cost when disabled**: unless the
+``REPRO_CONTRACTS`` environment variable is truthy at import (i.e.
+decoration) time, :func:`shaped` returns the function unchanged -- no
+wrapper, no per-call overhead.  The test suite enables it in
+``tests/conftest.py``, so every tier-1 run exercises the contracts.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ContractViolation
+
+#: Environment variable gating the contract layer ("1"/"true"/"on").
+CONTRACTS_ENV_VAR = "REPRO_CONTRACTS"
+
+_TRUTHY = {"1", "true", "on", "yes"}
+
+DimSpec = Union[int, str, None]
+ShapeSpec = Tuple[DimSpec, ...]
+
+
+def contracts_enabled() -> bool:
+    """Whether the contract layer is active (read per decoration)."""
+    return (
+        os.environ.get(CONTRACTS_ENV_VAR, "").strip().lower() in _TRUTHY
+    )
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Contract for one array parameter.
+
+    Attributes:
+        shape: per-axis spec -- int (exact), str (dimension variable
+            shared across parameters), None (any size); None overall
+            skips the shape check.
+        dtype: numpy dtype or abstract kind the array must satisfy via
+            ``np.issubdtype``; None skips the dtype check.
+    """
+
+    shape: Optional[ShapeSpec] = None
+    dtype: Optional[Any] = None
+
+
+def arr(shape: Optional[Tuple[DimSpec, ...]] = None, dtype: Any = None) -> ArraySpec:
+    """Shorthand for an :class:`ArraySpec` with a per-param dtype."""
+    return ArraySpec(
+        shape=tuple(shape) if shape is not None else None, dtype=dtype
+    )
+
+
+def _check_param(
+    qualname: str,
+    name: str,
+    value: Any,
+    spec: ArraySpec,
+    dims: Dict[str, int],
+) -> None:
+    """Validate one argument against its spec, binding dimension vars."""
+    array = np.asarray(value)
+    if spec.dtype is not None and not np.issubdtype(array.dtype, spec.dtype):
+        expected = getattr(spec.dtype, "__name__", str(spec.dtype))
+        raise ContractViolation(
+            f"{qualname}(): parameter {name!r} has dtype {array.dtype}, "
+            f"contract requires {expected}"
+        )
+    if spec.shape is None:
+        return
+    if array.ndim != len(spec.shape):
+        raise ContractViolation(
+            f"{qualname}(): parameter {name!r} has shape {array.shape} "
+            f"({array.ndim}-D), contract requires {len(spec.shape)}-D "
+            f"{spec.shape}"
+        )
+    for axis, dim in enumerate(spec.shape):
+        actual = int(array.shape[axis])
+        if dim is None:
+            continue
+        if isinstance(dim, int):
+            if actual != dim:
+                raise ContractViolation(
+                    f"{qualname}(): parameter {name!r} axis {axis} has "
+                    f"size {actual}, contract requires {dim}"
+                )
+        else:
+            bound = dims.setdefault(dim, actual)
+            if actual != bound:
+                raise ContractViolation(
+                    f"{qualname}(): parameter {name!r} axis {axis} has "
+                    f"size {actual}, but dimension {dim!r} is already "
+                    f"{bound} in this call"
+                )
+
+
+def shaped(dtype: Any = None, **param_specs: Union[ArraySpec, Tuple[DimSpec, ...]]):
+    """Declare shape/dtype contracts on a function's array parameters.
+
+    Args:
+        dtype: default dtype requirement applied to every listed
+            parameter (an :class:`ArraySpec` value overrides it).
+        **param_specs: parameter name -> shape tuple (with the shared
+            default dtype) or a full :class:`ArraySpec` / :func:`arr`.
+
+    Returns:
+        The decorator.  When contracts are disabled (no
+        ``REPRO_CONTRACTS`` in the environment) the decorated function
+        is returned unchanged.
+
+    Raises:
+        ConfigurationError: at decoration time, for a spec naming a
+            parameter the function does not have.
+        ContractViolation: at call time, when an argument breaks its
+            contract (None arguments and omitted parameters are
+            skipped).
+    """
+
+    def decorate(fn):
+        if not contracts_enabled():
+            return fn
+        signature = inspect.signature(fn)
+        unknown = set(param_specs) - set(signature.parameters)
+        if unknown:
+            raise ConfigurationError(
+                f"@shaped on {fn.__qualname__}: unknown parameter(s) "
+                f"{sorted(unknown)}"
+            )
+        specs: Dict[str, ArraySpec] = {}
+        for name, raw in param_specs.items():
+            if isinstance(raw, ArraySpec):
+                spec = raw
+                if spec.dtype is None and dtype is not None:
+                    spec = ArraySpec(shape=spec.shape, dtype=dtype)
+            else:
+                spec = ArraySpec(shape=tuple(raw), dtype=dtype)
+            specs[name] = spec
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            try:
+                bound = signature.bind(*args, **kwargs)
+            except TypeError:
+                # Let Python raise its own (clearer) signature error.
+                return fn(*args, **kwargs)
+            dims: Dict[str, int] = {}
+            for name, spec in specs.items():
+                if name not in bound.arguments:
+                    continue
+                value = bound.arguments[name]
+                if value is None:
+                    continue
+                _check_param(fn.__qualname__, name, value, spec, dims)
+            return fn(*args, **kwargs)
+
+        wrapper.__repro_contracts__ = specs  # introspection for tests
+        return wrapper
+
+    return decorate

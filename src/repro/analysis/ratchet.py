@@ -1,0 +1,336 @@
+"""Typing ratchet: per-module error counts may only go down.
+
+Strict typing cannot land on a 160-file codebase in one PR, and a plain
+"mypy must pass" gate would either be disabled or block unrelated work.
+The ratchet is the standard middle path: a committed baseline records
+the per-module error count of the tree as of the last update, CI fails
+when any module's count *grows*, and improvements are committed by
+re-running ``update``.  Annotation coverage therefore only moves
+forward.
+
+Two checkers are supported:
+
+* ``mypy`` -- the real thing, run as a subprocess when the package is
+  importable (CI installs it; the pinned dev container may not have
+  it).
+* ``annotations`` -- a dependency-free AST fallback that counts missing
+  parameter/return annotations per module.  Deterministic, fast, and
+  available everywhere, so the *committed* baseline uses it; CI
+  additionally runs the mypy checker against a baseline captured in the
+  same job (see .github/workflows/ci.yml).
+
+Baselines record which checker produced them; ``check`` refuses to
+compare counts across checkers.
+
+Exit codes: 0 ok, 1 ratchet violation, 2 usage error, 3 checker
+unavailable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import importlib.util
+import json
+import re
+import subprocess
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+BASELINE_FORMAT = "repro-typing-baseline"
+BASELINE_VERSION = 1
+
+_MYPY_LINE = re.compile(r"^(?P<path>[^:\n]+\.py):\d+(?::\d+)?: error:")
+
+
+# ---------------------------------------------------------------------------
+# Checkers
+# ---------------------------------------------------------------------------
+
+
+def annotation_gap_count(tree: ast.Module) -> int:
+    """Number of typing gaps in one module (AST fallback checker).
+
+    A gap is a function parameter without an annotation (``self``/``cls``
+    in methods are exempt) or a missing return annotation (``__init__``
+    is exempt: its return is always None).
+    """
+    gaps = 0
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        args = node.args
+        positional = [*args.posonlyargs, *args.args]
+        for index, arg in enumerate(positional):
+            if index == 0 and arg.arg in ("self", "cls"):
+                continue
+            if arg.annotation is None:
+                gaps += 1
+        for arg in args.kwonlyargs:
+            if arg.annotation is None:
+                gaps += 1
+        for arg in (args.vararg, args.kwarg):
+            if arg is not None and arg.annotation is None:
+                gaps += 1
+        if node.returns is None and node.name != "__init__":
+            gaps += 1
+    return gaps
+
+
+def collect_annotation_counts(root: Path) -> Dict[str, int]:
+    """Per-module gap counts for every ``*.py`` under ``root``."""
+    counts: Dict[str, int] = {}
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root.parent).as_posix()
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        counts[rel] = annotation_gap_count(tree)
+    return counts
+
+
+def mypy_available() -> bool:
+    """Whether the mypy package can be imported in this interpreter."""
+    return importlib.util.find_spec("mypy") is not None
+
+
+def collect_mypy_counts(root: Path) -> Dict[str, int]:
+    """Per-module mypy error counts for the tree under ``root``.
+
+    Raises:
+        RuntimeError: when mypy is not installed.
+    """
+    if not mypy_available():
+        raise RuntimeError(
+            "mypy is not installed in this environment; use "
+            "--checker annotations or install the `dev` extra"
+        )
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "mypy",
+            "--no-error-summary",
+            "--hide-error-context",
+            str(root),
+        ],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    counts: Dict[str, int] = {
+        path.relative_to(root.parent).as_posix(): 0
+        for path in sorted(root.rglob("*.py"))
+    }
+    anchor = root.parent.resolve()
+    for line in result.stdout.splitlines():
+        match = _MYPY_LINE.match(line.strip())
+        if match is None:
+            continue
+        reported = Path(match.group("path"))
+        try:
+            rel = (
+                reported.resolve().relative_to(anchor).as_posix()
+                if reported.is_absolute()
+                else Path(*reported.parts).as_posix()
+            )
+        except ValueError:
+            rel = reported.as_posix()
+        # Normalise "src/repro/x.py" style output to the baseline key.
+        for candidate in (rel, rel.split("/", 1)[-1]):
+            if candidate in counts:
+                rel = candidate
+                break
+        counts[rel] = counts.get(rel, 0) + 1
+    return counts
+
+
+CHECKERS = {
+    "annotations": collect_annotation_counts,
+    "mypy": collect_mypy_counts,
+}
+
+
+def resolve_checker(requested: str, baseline: Optional[dict]) -> str:
+    """Pick the effective checker for ``auto`` / explicit requests."""
+    if requested != "auto":
+        return requested
+    if baseline is not None and baseline.get("checker") in CHECKERS:
+        return baseline["checker"]
+    return "mypy" if mypy_available() else "annotations"
+
+
+# ---------------------------------------------------------------------------
+# Baseline I/O and comparison
+# ---------------------------------------------------------------------------
+
+
+def load_baseline(path: Path) -> dict:
+    """Parse and validate a committed baseline file."""
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("format") != BASELINE_FORMAT:
+        raise ValueError(f"{path}: not a {BASELINE_FORMAT} file")
+    if payload.get("checker") not in CHECKERS:
+        raise ValueError(f"{path}: unknown checker {payload.get('checker')!r}")
+    if not isinstance(payload.get("modules"), dict):
+        raise ValueError(f"{path}: missing per-module counts")
+    return payload
+
+
+def write_baseline(
+    path: Path, checker: str, root: Path, counts: Dict[str, int]
+) -> None:
+    """Write a baseline file (sorted, stable diffs)."""
+    payload = {
+        "format": BASELINE_FORMAT,
+        "version": BASELINE_VERSION,
+        "checker": checker,
+        "root": root.as_posix(),
+        "total": int(sum(counts.values())),
+        "modules": {k: counts[k] for k in sorted(counts)},
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=False) + "\n",
+        encoding="utf-8",
+    )
+
+
+def compare(
+    current: Dict[str, int], baseline: Dict[str, int]
+) -> Dict[str, List[str]]:
+    """Classify per-module deltas against the baseline.
+
+    Modules absent from the baseline (new files) get a budget of 0: new
+    code starts fully annotated and stays that way.  Modules that
+    disappeared are reported so stale baselines get cleaned up.
+    """
+    regressions, improvements, removed = [], [], []
+    for module in sorted(set(current) | set(baseline)):
+        now = current.get(module)
+        allowed = baseline.get(module, 0)
+        if now is None:
+            removed.append(module)
+        elif now > allowed:
+            regressions.append(
+                f"{module}: {now} error(s), baseline allows {allowed}"
+            )
+        elif now < allowed:
+            improvements.append(
+                f"{module}: {now} error(s), baseline had {allowed}"
+            )
+    return {
+        "regressions": regressions,
+        "improvements": improvements,
+        "removed": removed,
+    }
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.ratchet",
+        description="typing ratchet: per-module error counts only go down",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, help_text in (
+        ("check", "compare the tree against a committed baseline"),
+        ("update", "(re)write the baseline from the current tree"),
+    ):
+        command = sub.add_parser(name, help=help_text)
+        command.add_argument(
+            "--baseline",
+            metavar="PATH",
+            default="typing_baseline.json",
+            help="baseline file (default: typing_baseline.json)",
+        )
+        command.add_argument(
+            "--root",
+            metavar="DIR",
+            default="src/repro",
+            help="package root to analyse (default: src/repro)",
+        )
+        command.add_argument(
+            "--checker",
+            choices=("auto", "mypy", "annotations"),
+            default="auto",
+            help="auto follows the baseline's checker (update: mypy "
+            "when installed, else annotations)",
+        )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    root = Path(args.root)
+    if not root.is_dir():
+        print(f"error: root {root} is not a directory", file=sys.stderr)
+        return 2
+    baseline_path = Path(args.baseline)
+
+    if args.command == "update":
+        checker = resolve_checker(args.checker, None)
+        try:
+            counts = CHECKERS[checker](root)
+        except RuntimeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 3
+        write_baseline(baseline_path, checker, root, counts)
+        print(
+            f"[ratchet] wrote {baseline_path} ({checker}): "
+            f"{sum(counts.values())} error(s) across {len(counts)} modules"
+        )
+        return 0
+
+    try:
+        baseline = load_baseline(baseline_path)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: cannot load baseline: {exc}", file=sys.stderr)
+        return 2
+    checker = resolve_checker(args.checker, baseline)
+    if checker != baseline["checker"]:
+        print(
+            f"error: baseline was produced by {baseline['checker']!r} "
+            f"but --checker {checker!r} was requested; counts are not "
+            f"comparable",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        counts = CHECKERS[checker](root)
+    except RuntimeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    outcome = compare(counts, baseline["modules"])
+    for line in outcome["improvements"]:
+        print(f"[ratchet] improved  {line}")
+    for module in outcome["removed"]:
+        print(f"[ratchet] removed   {module} (re-run update to clean up)")
+    for line in outcome["regressions"]:
+        print(f"[ratchet] REGRESSED {line}", file=sys.stderr)
+    total = sum(counts.values())
+    print(
+        f"[ratchet] {checker}: {total} error(s) across "
+        f"{len(counts)} modules "
+        f"(baseline {baseline.get('total', '?')})"
+    )
+    if outcome["regressions"]:
+        print(
+            "[ratchet] typing regressed; annotate the flagged modules "
+            "(or, for a deliberate trade-off, re-run "
+            "`python -m repro.analysis.ratchet update`)",
+            file=sys.stderr,
+        )
+        return 1
+    if outcome["improvements"]:
+        print(
+            "[ratchet] coverage improved -- run `update` and commit the "
+            "new baseline to lock it in"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

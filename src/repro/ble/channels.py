@@ -23,7 +23,12 @@ from typing import List, Sequence
 
 from repro.constants import (
     BLE_ADVERTISING_CHANNELS,
+    BLE_BAND_END_HZ,
+    BLE_BAND_START_HZ,
+    BLE_CHANNEL_38_FREQ_HZ,
     BLE_CHANNEL_WIDTH_HZ,
+    BLE_DATA_HIGH_BASE_HZ,
+    BLE_DATA_LOW_BASE_HZ,
     BLE_NUM_CHANNELS,
     BLE_NUM_DATA_CHANNELS,
 )
@@ -46,8 +51,8 @@ def data_channel_to_frequency(data_channel: int) -> float:
             f"data channel must be 0..36, got {data_channel}"
         )
     if data_channel <= 10:
-        return 2404e6 + BLE_CHANNEL_WIDTH_HZ * data_channel
-    return 2428e6 + BLE_CHANNEL_WIDTH_HZ * (data_channel - 11)
+        return BLE_DATA_LOW_BASE_HZ + BLE_CHANNEL_WIDTH_HZ * data_channel
+    return BLE_DATA_HIGH_BASE_HZ + BLE_CHANNEL_WIDTH_HZ * (data_channel - 11)
 
 
 def channel_index_to_frequency(channel_index: int) -> float:
@@ -57,11 +62,11 @@ def channel_index_to_frequency(channel_index: int) -> float:
             f"channel index must be 0..39, got {channel_index}"
         )
     if channel_index == 37:
-        return 2402e6
+        return BLE_BAND_START_HZ
     if channel_index == 38:
-        return 2426e6
+        return BLE_CHANNEL_38_FREQ_HZ
     if channel_index == 39:
-        return 2480e6
+        return BLE_BAND_END_HZ
     return data_channel_to_frequency(channel_index)
 
 

@@ -17,7 +17,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional
 
-from repro.constants import BLE_NUM_DATA_CHANNELS
+from repro.constants import (
+    BLE_CRC_INIT_ADVERTISING,
+    BLE_NUM_DATA_CHANNELS,
+)
 from repro.errors import ConfigurationError, CrcError
 from repro.ble.access_address import random_access_address
 from repro.ble.channels import ChannelMap, data_channel_to_frequency
@@ -75,7 +78,7 @@ class Connection:
     """
 
     access_address: int = 0
-    crc_init: int = 0x555555
+    crc_init: int = BLE_CRC_INIT_ADVERTISING
     hop_increment: int = 7
     channel_map: ChannelMap = field(default_factory=ChannelMap.all_channels)
     connection_interval_s: float = DEFAULT_CONNECTION_INTERVAL_S

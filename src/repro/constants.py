@@ -26,6 +26,18 @@ BLE_BAND_END_HZ = 2.480e9
 #: Width of each BLE channel [Hz].
 BLE_CHANNEL_WIDTH_HZ = 2.0e6
 
+#: Centre frequency of data channel 0 [Hz] (the low data block starts
+#: above advertising channel 37 at 2402 MHz).
+BLE_DATA_LOW_BASE_HZ = 2.404e9
+
+#: Centre frequency of advertising channel 38 [Hz] (the mid-band gap in
+#: the 2 MHz data-channel lattice).
+BLE_CHANNEL_38_FREQ_HZ = 2.426e9
+
+#: Centre frequency of data channel 11 [Hz] (the high data block resumes
+#: above advertising channel 38).
+BLE_DATA_HIGH_BASE_HZ = 2.428e9
+
 #: Total number of BLE channels (37 data + 3 advertising).
 BLE_NUM_CHANNELS = 40
 

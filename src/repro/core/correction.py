@@ -21,6 +21,7 @@ from typing import List
 
 import numpy as np
 
+from repro.analysis.contracts import shaped
 from repro.core.observations import ChannelObservations
 from repro.obs import STANDARD_METRICS, get_observer
 from repro.rf.antenna import Anchor
@@ -120,6 +121,7 @@ def correct_phase_offsets(
     )
 
 
+@shaped(dtype=np.complexfloating, alpha=("I", "J", "K"))
 def linear_phase_residual(alpha: np.ndarray) -> np.ndarray:
     """Deviation of the corrected cross-band phase from its linear trend.
 
@@ -149,6 +151,7 @@ def linear_phase_residual(alpha: np.ndarray) -> np.ndarray:
     return (flat - fitted).reshape(phase.shape)
 
 
+@shaped(dtype=np.complexfloating, tag=("I", "J", "K"))
 def usable_band_mask(tag: np.ndarray) -> np.ndarray:
     """Per-(anchor, band) mask of usable tag measurements, shape (I, K).
 
@@ -157,7 +160,10 @@ def usable_band_mask(tag: np.ndarray) -> np.ndarray:
     the same criterion the coverage metric and the diagnostics layer use,
     kept in one place so they can never disagree.
     """
-    return np.isfinite(tag).all(axis=1) & (np.abs(tag).sum(axis=1) > 0)
+    # Amplitude sink: the mask only needs magnitudes, the complex CSI
+    # itself is untouched.
+    total = np.abs(tag).sum(axis=1)  # repro: noqa[RPR001]
+    return np.isfinite(tag).all(axis=1) & (total > 0)
 
 
 def _record_correction_metrics(observer, tag: np.ndarray, alpha: np.ndarray):

@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.analysis.contracts import shaped
 from repro.ble.gfsk import GfskModulator
 from repro.ble.localization import ToneSegment, find_tone_segments
 from repro.ble.pdu import OnAirPacket
@@ -47,6 +48,7 @@ class BandCsi:
     tone1: np.ndarray
 
 
+@shaped(received=("M",), ideal=("L",))
 def measure_segment_channel(
     received: np.ndarray,
     ideal: np.ndarray,

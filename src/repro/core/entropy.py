@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.contracts import shaped
 from repro.constants import BLOC_ENTROPY_WINDOW
 from repro.core.peaks import Peak
 from repro.errors import ConfigurationError
@@ -47,6 +48,7 @@ def negentropy(values: np.ndarray) -> float:
     return float(np.log(arr.size)) - shannon_entropy(arr)
 
 
+@shaped(values=("H", "W"))
 def peak_neighborhood_entropy(
     values: np.ndarray,
     grid: Grid2D,
@@ -68,6 +70,7 @@ def peak_neighborhood_entropy(
     return negentropy(neighborhood)
 
 
+@shaped(values=("H", "W"))
 def spread_metric(
     values: np.ndarray,
     grid: Grid2D,

@@ -26,6 +26,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.analysis.contracts import shaped
 from repro.constants import SPEED_OF_LIGHT
 from repro.core.correction import CorrectedChannels
 from repro.core.engine import SteeringCache
@@ -58,6 +59,7 @@ class LikelihoodMap:
         return normalize_peak(self.combined)
 
 
+@shaped(points=("N", 2), reference_distances=("N",))
 def anchor_likelihood_flat(
     corrected: CorrectedChannels,
     anchor_index: int,

@@ -178,6 +178,10 @@ class BlocLocalizer:
                 the failing stage) are attached to the exception as
                 ``exc.diagnostics``.
 
+        Thread-safety: safe to call concurrently from evaluation workers;
+        all per-fix state is local and the shared steering cache guards
+        its own entries.
+
         Raises:
             LocalizationError: when the likelihood map is degenerate.
         """

@@ -15,6 +15,7 @@ from typing import List
 import numpy as np
 from scipy import ndimage
 
+from repro.analysis.contracts import shaped
 from repro.errors import ConfigurationError, LocalizationError
 from repro.obs import COUNT_BUCKETS, get_observer
 from repro.utils.geometry2d import Point
@@ -67,6 +68,7 @@ class PeakConfig:
             raise ConfigurationError("max_peaks must be >= 1")
 
 
+@shaped(values=("H", "W"))
 def find_peaks(
     values: np.ndarray, grid: Grid2D, config: PeakConfig = PeakConfig()
 ) -> List[Peak]:
@@ -125,6 +127,7 @@ def find_peaks(
     return selected
 
 
+@shaped(values=("H", "W"))
 def refine_peak_position(
     values: np.ndarray, grid: Grid2D, peak: Peak
 ) -> Point:

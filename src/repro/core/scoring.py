@@ -25,6 +25,7 @@ from repro.constants import (
     BLOC_SCORE_DISTANCE_WEIGHT,
     BLOC_SCORE_ENTROPY_WEIGHT,
 )
+from repro.analysis.contracts import shaped
 from repro.core.entropy import peak_neighborhood_entropy
 from repro.core.peaks import Peak
 from repro.errors import ConfigurationError, LocalizationError
@@ -69,6 +70,7 @@ class ScoringConfig:
             raise ConfigurationError("entropy window must be odd and >= 3")
 
 
+@shaped(values=("H", "W"))
 def score_peaks(
     peaks: Sequence[Peak],
     values: np.ndarray,

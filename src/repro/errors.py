@@ -47,3 +47,9 @@ class MeasurementError(ReproError):
 
 class LocalizationError(ReproError):
     """The localization pipeline could not produce a position estimate."""
+
+
+class ContractViolation(ReproError):
+    """A runtime shape/dtype contract (:mod:`repro.analysis.contracts`)
+    was broken: an array argument's shape, dtype, or cross-parameter
+    dimension binding does not match the declared invariant."""

@@ -36,9 +36,9 @@ def build_report(experiment_ids) -> str:
     ]
     for experiment_id in experiment_ids:
         runner = EXPERIMENTS[experiment_id]
-        start = time.time()
+        start = time.perf_counter()
         result = runner()
-        elapsed = time.time() - start
+        elapsed = time.perf_counter() - start
         sections.append(f"## {result.experiment_id}: {result.title}")
         sections.append("")
         sections.append("```")

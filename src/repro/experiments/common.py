@@ -25,6 +25,7 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from repro.baselines import AoaLocalizer, shortest_distance_localizer
+from repro.constants import BLE_TOTAL_SPAN_HZ
 from repro.core import BlocConfig, BlocLocalizer
 from repro.core.observations import ChannelObservations
 from repro.sim import (
@@ -187,7 +188,7 @@ TRANSFORMS: Dict[str, Callable[[ChannelObservations], ChannelObservations]] = {
     "bw2": lambda o: o.select_bandwidth(2e6),
     "bw20": lambda o: o.select_bandwidth(20e6),
     "bw40": lambda o: o.select_bandwidth(40e6),
-    "bw80": lambda o: o.select_bandwidth(80e6),
+    "bw80": lambda o: o.select_bandwidth(BLE_TOTAL_SPAN_HZ),
     "sub2": lambda o: o.subsample_bands(2),
     "sub4": lambda o: o.subsample_bands(4),
     "ant3": lambda o: o.select_antennas(3),

@@ -137,7 +137,9 @@ def install(observer: Optional[Observability]) -> Observability:
 
     Passing None restores the disabled default.
     """
-    global _current
+    # Atomic reference swap under the GIL; installs happen before worker
+    # threads start (see evaluate()), so no lock is needed here.
+    global _current  # repro: noqa[RPR003]
     previous = _current
     _current = observer if observer is not None else _DISABLED
     return previous

@@ -34,6 +34,18 @@ NDJSON_FORMAT = "repro-obs"
 NDJSON_VERSION = 1
 
 
+def _finite_or_marker(v: float):
+    """Strict-JSON stand-in for a float: NaN -> None (an absent value),
+    +/-Inf -> "Infinity"/"-Infinity" strings (the *direction* of an
+    overflow is diagnostic signal -- an SNR of -Inf and +Inf tell very
+    different stories -- so it must survive the export)."""
+    if math.isfinite(v):
+        return v
+    if math.isnan(v):
+        return None
+    return "Infinity" if v > 0 else "-Infinity"
+
+
 def _json_safe(value):
     """Make a value strict-JSON serialisable (NaN/Inf become None/str).
 
@@ -42,6 +54,8 @@ def _json_safe(value):
     complex values become ``{"real": ..., "imag": ...}`` pairs, and
     arrays become (nested) lists -- so diagnostics-rich spans never leak
     ``str(ndarray)`` junk or non-JSON floats into an NDJSON export.
+    NaN maps to null; +/-Inf map to the strings "Infinity"/"-Infinity"
+    (``json.dumps(..., allow_nan=False)`` downstream stays happy).
     """
     # np.bool_ is not a bool subclass; check it before the plain types.
     if isinstance(value, np.bool_):
@@ -49,12 +63,11 @@ def _json_safe(value):
     if isinstance(value, (bool, int, str)) or value is None:
         return value
     if isinstance(value, float):
-        return value if math.isfinite(value) else None
+        return _finite_or_marker(value)
     if isinstance(value, (np.integer,)):
         return int(value)
     if isinstance(value, (np.floating,)):
-        v = float(value)
-        return v if math.isfinite(v) else None
+        return _finite_or_marker(float(value))
     if isinstance(value, (complex, np.complexfloating)):
         c = complex(value)
         return {"real": _json_safe(c.real), "imag": _json_safe(c.imag)}

@@ -233,7 +233,7 @@ class AnchorHealthMonitor:
                 if event:
                     fired.append(event)
                 state.stale_streak = (
-                    state.stale_streak + 1 if coverage == 0.0 else 0
+                    state.stale_streak + 1 if coverage <= 0.0 else 0
                 )
                 event = self._transition(
                     state,

@@ -54,7 +54,7 @@ class Counter:
         return self._value
 
     def inc(self, amount: Number = 1) -> None:
-        """Add ``amount`` (must be >= 0) to the counter."""
+        """Add ``amount`` (must be >= 0) to the counter (thread-safe)."""
         if amount < 0:
             raise ConfigurationError(
                 f"counter {self.name}: increment must be >= 0, got {amount}"
@@ -63,7 +63,7 @@ class Counter:
             self._value += amount
 
     def merge(self, other: "Counter") -> None:
-        """Fold another counter's total into this one."""
+        """Fold another counter's total into this one (thread-safe)."""
         self.inc(other.value)
 
     def snapshot(self) -> dict:
@@ -87,7 +87,7 @@ class Gauge:
         return self._value
 
     def set(self, value: Number) -> None:
-        """Record the current value."""
+        """Record the current value (thread-safe)."""
         with self._lock:
             self._value = float(value)
 
@@ -100,7 +100,8 @@ class Gauge:
                 self._value += float(amount)
 
     def merge(self, other: "Gauge") -> None:
-        """Adopt another gauge's value (last write wins; NaN is skipped)."""
+        """Adopt another gauge's value (thread-safe; last write wins,
+        NaN is skipped)."""
         value = other.value
         if not math.isnan(value):
             self.set(value)
@@ -164,7 +165,7 @@ class Histogram:
         return self._max
 
     def observe(self, value: Number) -> None:
-        """Record one observation."""
+        """Record one observation (thread-safe)."""
         v = float(value)
         if math.isnan(v):
             raise ConfigurationError(
@@ -189,9 +190,9 @@ class Histogram:
         """Fold another histogram's observations into this one.
 
         Both histograms must share the same bucket edges (edges are part
-        of the instrument identity).  The other histogram is snapshotted
-        under its own lock first, so merging is safe while writers are
-        still observing into either side.
+        of the instrument identity).  Thread-safety: the other histogram
+        is snapshotted under its own lock first, so merging is safe while
+        writers are still observing into either side.
         """
         if other.edges != self.edges:
             raise ConfigurationError(
@@ -334,7 +335,9 @@ class MetricsRegistry:
         Counterpart instruments are created on demand; counters add,
         gauges last-write-win, histograms combine bucket counts.  Used by
         the parallel evaluation runner to collapse per-worker registries
-        into the session observer.  Returns self for chaining.
+        into the session observer.  Thread-safety: each instrument merge
+        locks both sides' instruments, so folding is safe while workers
+        still write into ``other``.  Returns self for chaining.
         """
         for instrument in other.instruments():
             if instrument.kind == "counter":

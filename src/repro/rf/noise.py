@@ -15,6 +15,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.analysis.contracts import arr, shaped
 from repro.errors import ConfigurationError
 from repro.utils.rng import RngLike, make_rng
 
@@ -44,6 +45,7 @@ def add_awgn(
     return samples + noise
 
 
+@shaped(channels=arr(None, np.complexfloating))
 def channel_estimation_noise(
     channels: np.ndarray,
     snr_db: float,

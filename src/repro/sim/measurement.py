@@ -30,7 +30,7 @@ from repro.ble.gfsk import GfskDemodulator
 from repro.ble.link_layer import Connection, establish_connection
 from repro.core.csi import extract_band_csi
 from repro.core.observations import ChannelObservations
-from repro.errors import MeasurementError
+from repro.errors import MeasurementError, ReproError
 from repro.rf.noise import channel_estimation_noise
 from repro.rf.oscillator import Oscillator
 from repro.sdr.frontend import RadioFrontEnd
@@ -334,7 +334,7 @@ class IqMeasurementModel:
                 try:
                     aligned = detector.align(capture, event.slave_packet)
                     csi = extract_band_csi(aligned, event.slave_packet)
-                except Exception as exc:
+                except ReproError as exc:
                     raise MeasurementError(
                         f"tag packet lost at {anchor.name} on channel "
                         f"{channel}: {exc}"
@@ -363,7 +363,7 @@ class IqMeasurementModel:
                     try:
                         aligned = detector.align(response, event.master_packet)
                         csi = extract_band_csi(aligned, event.master_packet)
-                    except Exception as exc:
+                    except ReproError as exc:
                         raise MeasurementError(
                             f"master packet lost at {anchor.name} on "
                             f"channel {channel}: {exc}"

@@ -267,7 +267,8 @@ class _WorkerRegistries:
         self._registries: List[MetricsRegistry] = []
 
     def current(self) -> MetricsRegistry:
-        """The calling thread's registry (created on first use)."""
+        """The calling thread's registry (thread-safe; created on
+        first use and tracked for the final merge)."""
         registry = getattr(self._local, "registry", None)
         if registry is None:
             registry = MetricsRegistry()

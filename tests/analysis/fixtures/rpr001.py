@@ -1,0 +1,12 @@
+"""RPR001 fixture: complex-dtype loss on CSI arrays (linted as core/)."""
+
+import numpy as np
+
+
+def narrow(csi, alpha):
+    bad_cast = np.float32(1.0)
+    bad_abs = np.abs(csi)
+    bad_astype = alpha.astype("float64")
+    bad_dtype = np.zeros(4, dtype=np.complex64)
+    ok = np.abs(csi)  # repro: noqa[RPR001] -- fixture: amplitude sink
+    return bad_cast, bad_abs, bad_astype, bad_dtype, ok

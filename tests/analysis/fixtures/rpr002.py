@@ -1,0 +1,15 @@
+"""RPR002 fixture: nondeterminism in physics code (linted as core/)."""
+
+import random
+import time
+
+import numpy as np
+
+
+def noisy():
+    a = np.random.normal(0.0, 1.0)
+    b = random.random()
+    c = time.time()
+    rng = np.random.default_rng(7)  # allowed: Generator construction
+    ok = time.time()  # repro: noqa[RPR002] -- fixture
+    return a, b, c, rng, ok

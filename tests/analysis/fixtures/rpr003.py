@@ -1,0 +1,26 @@
+"""RPR003 fixture: unlocked module-level mutation (linted as core/)."""
+
+import threading
+
+_CACHE = {}
+_EVENTS = []
+_LOCK = threading.Lock()
+
+_CACHE["init"] = 0  # module-level init writes are fine
+
+
+def unsafe_item(key, value):
+    _CACHE[key] = value
+
+
+def unsafe_method(event):
+    _EVENTS.append(event)
+
+
+def safe(key, value):
+    with _LOCK:
+        _CACHE[key] = value
+
+
+def waived(key, value):
+    _CACHE[key] = value  # repro: noqa[RPR003] -- fixture

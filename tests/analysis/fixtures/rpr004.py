@@ -1,0 +1,17 @@
+"""RPR004 fixture: unbalanced Span usage."""
+
+
+def bad(observer):
+    observer.span("correct")
+    parked = observer.span("map_likelihood")
+    return parked
+
+
+def good(observer):
+    with observer.span("correct"):
+        pass
+    return observer.span("delegated")
+
+
+def waived(observer):
+    observer.span("legacy")  # repro: noqa[RPR004] -- fixture

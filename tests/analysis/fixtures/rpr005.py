@@ -1,0 +1,11 @@
+"""RPR005 fixture: metric-name convention."""
+
+
+def record(metrics, index):
+    metrics.counter("bogus.total").inc()
+    metrics.gauge("engine.CamelCase").set(1.0)
+    metrics.histogram("engine").observe(1.0)
+    metrics.counter(f"Bogus.{index}").inc()
+    metrics.counter("engine.build_seconds").inc()
+    metrics.gauge(f"anchor.{index}.coverage").set(1.0)
+    metrics.counter("bogus.x")  # repro: noqa[RPR005] -- fixture

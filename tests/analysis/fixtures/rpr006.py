@@ -1,0 +1,11 @@
+"""RPR006 fixture: float-literal equality."""
+
+
+def compare(x):
+    if x == 0.1:
+        return 1
+    if 2.5 != x:
+        return 2
+    if x == 1:
+        return 3  # integer equality is fine
+    return x == 0.3  # repro: noqa[RPR006] -- fixture

@@ -1,0 +1,17 @@
+"""RPR007 fixture: mutable default arguments."""
+
+
+def bad_list(values=[]):
+    return values
+
+
+def bad_factory(items=dict()):
+    return items
+
+
+def good(values=None):
+    return values or []
+
+
+def waived(values=[]):  # repro: noqa[RPR007] -- fixture
+    return values

@@ -1,0 +1,36 @@
+"""RPR008 fixture: bare / overbroad except clauses."""
+
+
+def swallow_all():
+    try:
+        return 1
+    except:
+        return None
+
+
+def swallow_exception():
+    try:
+        return 1
+    except Exception:
+        return None
+
+
+def swallow_tuple():
+    try:
+        return 1
+    except (ValueError, BaseException):
+        return None
+
+
+def fine():
+    try:
+        return 1
+    except ValueError:
+        return None
+
+
+def waived():
+    try:
+        return 1
+    except Exception:  # repro: noqa[RPR008] -- fixture
+        return None

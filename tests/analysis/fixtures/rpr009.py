@@ -1,0 +1,9 @@
+"""RPR009 fixture: hard-coded BLE constants."""
+
+
+def band_plan():
+    c = 299792458.0
+    start = 2.402e9
+    unrelated = 2.5e9  # not a catalogued constant
+    waived = 2.426e9  # repro: noqa[RPR009] -- fixture
+    return c, start, unrelated, waived

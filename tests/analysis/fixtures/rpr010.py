@@ -1,0 +1,15 @@
+"""RPR010 fixture: thread-safety docstring tags on worker-reachable code."""
+
+
+class Cache:
+    def entry_for(self, key):
+        """No tag here."""
+        return key
+
+    def tagged(self, key):
+        """Thread-safe: guarded by the cache lock."""
+        return key
+
+    def waived(self, key):  # repro: noqa[RPR010] -- fixture
+        """No tag either."""
+        return key

@@ -1,0 +1,247 @@
+"""Typing ratchet: gap counting, baseline comparison, CLI exit codes."""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.ratchet import (
+    BASELINE_FORMAT,
+    annotation_gap_count,
+    collect_annotation_counts,
+    compare,
+    load_baseline,
+    main,
+    resolve_checker,
+    write_baseline,
+)
+
+ANNOTATED = "def f(x: int) -> int:\n    return x\n"
+ONE_GAP = "def f(x: int):\n    return x\n"
+TWO_GAPS = "def f(x, y: int) -> int:\n    return x + y\n"
+
+
+def gaps(source: str) -> int:
+    return annotation_gap_count(ast.parse(source))
+
+
+class TestAnnotationGapCount:
+    def test_fully_annotated_is_zero(self):
+        assert gaps(ANNOTATED) == 0
+
+    def test_missing_return_counts(self):
+        assert gaps(ONE_GAP) == 1
+
+    def test_missing_params_count(self):
+        assert gaps(TWO_GAPS) == 1
+
+    def test_self_and_cls_exempt(self):
+        source = (
+            "class C:\n"
+            "    def m(self, x: int) -> int:\n"
+            "        return x\n"
+            "    @classmethod\n"
+            "    def k(cls) -> None:\n"
+            "        return None\n"
+        )
+        assert gaps(source) == 0
+
+    def test_init_return_exempt(self):
+        source = "class C:\n    def __init__(self, x: int):\n        pass\n"
+        assert gaps(source) == 0
+
+    def test_varargs_and_kwonly_count(self):
+        source = "def f(*args, key, **kwargs) -> None:\n    pass\n"
+        assert gaps(source) == 3
+
+    def test_module_without_functions_is_zero(self):
+        assert gaps("X = 1\n") == 0
+
+
+class TestCollectCounts:
+    def test_keys_are_relative_to_root_parent(self, tmp_path):
+        pkg = tmp_path / "repro"
+        (pkg / "core").mkdir(parents=True)
+        (pkg / "a.py").write_text(ANNOTATED)
+        (pkg / "core" / "b.py").write_text(ONE_GAP)
+        counts = collect_annotation_counts(pkg)
+        assert counts == {"repro/a.py": 0, "repro/core/b.py": 1}
+
+
+class TestCompare:
+    def test_equal_counts_ok(self):
+        out = compare({"a.py": 2}, {"a.py": 2})
+        assert out["regressions"] == []
+        assert out["improvements"] == []
+
+    def test_growth_is_regression(self):
+        out = compare({"a.py": 3}, {"a.py": 2})
+        assert len(out["regressions"]) == 1
+        assert "a.py" in out["regressions"][0]
+
+    def test_shrink_is_improvement(self):
+        out = compare({"a.py": 1}, {"a.py": 2})
+        assert len(out["improvements"]) == 1
+
+    def test_new_module_budget_is_zero(self):
+        out = compare({"new.py": 1}, {})
+        assert len(out["regressions"]) == 1
+
+    def test_new_clean_module_ok(self):
+        out = compare({"new.py": 0}, {})
+        assert out["regressions"] == []
+
+    def test_deleted_module_reported(self):
+        out = compare({}, {"gone.py": 4})
+        assert out["removed"] == ["gone.py"]
+
+
+class TestBaselineIo:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(
+            path, "annotations", Path("src/repro"), {"repro/a.py": 2}
+        )
+        payload = load_baseline(path)
+        assert payload["format"] == BASELINE_FORMAT
+        assert payload["checker"] == "annotations"
+        assert payload["total"] == 2
+        assert payload["modules"] == {"repro/a.py": 2}
+
+    def test_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "nope.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ValueError, match="not a"):
+            load_baseline(path)
+
+    def test_rejects_unknown_checker(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps(
+                {"format": BASELINE_FORMAT, "checker": "psychic", "modules": {}}
+            )
+        )
+        with pytest.raises(ValueError, match="unknown checker"):
+            load_baseline(path)
+
+    def test_resolve_checker_follows_baseline(self):
+        assert (
+            resolve_checker("auto", {"checker": "annotations"})
+            == "annotations"
+        )
+        assert resolve_checker("mypy", None) == "mypy"
+
+
+class TestCli:
+    def _tree(self, tmp_path, source=ONE_GAP):
+        root = tmp_path / "repro"
+        root.mkdir()
+        (root / "mod.py").write_text(source)
+        return root
+
+    def test_update_then_check_ok(self, tmp_path):
+        root = self._tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        argv_tail = [
+            "--baseline", str(baseline),
+            "--root", str(root),
+            "--checker", "annotations",
+        ]
+        assert main(["update", *argv_tail]) == 0
+        assert main(["check", *argv_tail]) == 0
+
+    def test_check_fails_on_regression(self, tmp_path, capsys):
+        root = self._tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        argv_tail = [
+            "--baseline", str(baseline),
+            "--root", str(root),
+            "--checker", "annotations",
+        ]
+        assert main(["update", *argv_tail]) == 0
+        (root / "mod.py").write_text(TWO_GAPS + ONE_GAP.replace("f(", "g("))
+        assert main(["check", *argv_tail]) == 1
+        assert "REGRESSED" in capsys.readouterr().err
+
+    def test_check_passes_on_improvement(self, tmp_path, capsys):
+        root = self._tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        argv_tail = [
+            "--baseline", str(baseline),
+            "--root", str(root),
+            "--checker", "annotations",
+        ]
+        assert main(["update", *argv_tail]) == 0
+        (root / "mod.py").write_text(ANNOTATED)
+        assert main(["check", *argv_tail]) == 0
+        assert "improved" in capsys.readouterr().out
+
+    def test_new_unannotated_module_regresses(self, tmp_path):
+        root = self._tree(tmp_path, source=ANNOTATED)
+        baseline = tmp_path / "baseline.json"
+        argv_tail = [
+            "--baseline", str(baseline),
+            "--root", str(root),
+            "--checker", "annotations",
+        ]
+        assert main(["update", *argv_tail]) == 0
+        (root / "fresh.py").write_text(ONE_GAP)
+        assert main(["check", *argv_tail]) == 1
+
+    def test_missing_baseline_is_usage_error(self, tmp_path):
+        root = self._tree(tmp_path)
+        assert (
+            main(
+                [
+                    "check",
+                    "--baseline", str(tmp_path / "absent.json"),
+                    "--root", str(root),
+                    "--checker", "annotations",
+                ]
+            )
+            == 2
+        )
+
+    def test_cross_checker_comparison_refused(self, tmp_path, capsys):
+        root = self._tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, "mypy", root, {"repro/mod.py": 0})
+        code = main(
+            [
+                "check",
+                "--baseline", str(baseline),
+                "--root", str(root),
+                "--checker", "annotations",
+            ]
+        )
+        assert code == 2
+        assert "not comparable" in capsys.readouterr().err
+
+    def test_bad_root_is_usage_error(self, tmp_path):
+        assert (
+            main(
+                [
+                    "check",
+                    "--baseline", str(tmp_path / "b.json"),
+                    "--root", str(tmp_path / "nowhere"),
+                ]
+            )
+            == 2
+        )
+
+    def test_committed_repo_baseline_is_green(self):
+        repo = Path(__file__).resolve().parents[2]
+        baseline = repo / "typing_baseline.json"
+        assert baseline.is_file(), "typing_baseline.json must be committed"
+        code = main(
+            [
+                "check",
+                "--baseline", str(baseline),
+                "--root", str(repo / "src" / "repro"),
+                "--checker", "annotations",
+            ]
+        )
+        assert code == 0

@@ -7,6 +7,13 @@ build their own instances.
 
 from __future__ import annotations
 
+import os
+
+# Activate the runtime shape/dtype contracts (repro.analysis.contracts)
+# for the whole suite.  This must happen before any repro import: the
+# @shaped decorator reads the environment at decoration (import) time.
+os.environ.setdefault("REPRO_CONTRACTS", "1")
+
 import numpy as np
 import pytest
 

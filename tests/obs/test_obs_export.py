@@ -109,10 +109,32 @@ class TestJsonSafe:
         assert _json_safe(np.float64(1.5)) == 1.5
         assert type(_json_safe(np.float32(1.5))) is float
 
-    def test_non_finite_floats_become_none(self):
+    def test_nan_becomes_none(self):
         assert _json_safe(float("nan")) is None
-        assert _json_safe(np.float64("inf")) is None
-        assert _json_safe(-np.inf) is None
+        assert _json_safe(np.float64("nan")) is None
+
+    def test_infinities_keep_their_sign_as_strings(self):
+        assert _json_safe(float("inf")) == "Infinity"
+        assert _json_safe(np.float64("inf")) == "Infinity"
+        assert _json_safe(float("-inf")) == "-Infinity"
+        assert _json_safe(-np.inf) == "-Infinity"
+
+    def test_non_finite_values_survive_strict_json(self):
+        record = _json_safe(
+            {
+                "snr_db": np.inf,
+                "floor_db": -np.inf,
+                "coverage": float("nan"),
+                "bands": np.array([1.0, np.inf, np.nan]),
+            }
+        )
+        text = json.dumps(record, allow_nan=False)  # must not raise
+        assert json.loads(text) == {
+            "snr_db": "Infinity",
+            "floor_db": "-Infinity",
+            "coverage": None,
+            "bands": [1.0, "Infinity", None],
+        }
 
     def test_zero_d_array_unwraps_to_scalar(self):
         assert _json_safe(np.array(3.5)) == 3.5
@@ -124,7 +146,7 @@ class TestJsonSafe:
 
     def test_complex_becomes_real_imag_pair(self):
         assert _json_safe(np.complex128(1 + 2j)) == {"real": 1.0, "imag": 2.0}
-        assert _json_safe(complex("inf")) == {"real": None, "imag": 0.0}
+        assert _json_safe(complex("inf")) == {"real": "Infinity", "imag": 0.0}
 
     def test_containers_and_fallback(self):
         assert _json_safe((1, 2)) == [1, 2]
@@ -138,7 +160,7 @@ class TestJsonSafe:
             "gain": np.complex64(0.5 - 0.5j),
         }
         text = json.dumps(_json_safe(payload), allow_nan=False)
-        assert json.loads(text)["snr"] == [1.0, None]
+        assert json.loads(text)["snr"] == [1.0, "Infinity"]
 
 
 class TestSummaries:
