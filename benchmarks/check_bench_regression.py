@@ -35,8 +35,39 @@ from pathlib import Path
 #: Scenario keys that must match for absolute timings to be comparable.
 SCENARIO_KEYS = ("anchors", "antennas", "bands", "grid_points", "fixes")
 
+#: Repository root (this script lives in ``benchmarks/``).
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
 #: Default committed baseline, relative to the repository root.
-DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_localize.json"
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_localize.json"
+
+#: Default SLO spec carrying the [bench] tolerances.
+DEFAULT_SPEC = REPO_ROOT / "slo.toml"
+
+#: Fallback tolerance when no spec and no --tolerance is given.
+FALLBACK_TOLERANCE = 0.25
+
+
+def spec_tolerances(spec_path: Path):
+    """``(tolerance, absolute_tolerance)`` from an SLO spec file.
+
+    Returns ``(None, None)`` when the spec does not exist, so callers can
+    fall back to :data:`FALLBACK_TOLERANCE`.  The spec is the single
+    source of truth shared with ``python -m repro obs slo``.
+    """
+    if not spec_path.exists():
+        return None, None
+    src = REPO_ROOT / "src"
+    if str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+    from repro.errors import ConfigurationError
+    from repro.obs.slo import load_slo_spec
+
+    try:
+        spec = load_slo_spec(spec_path)
+    except ConfigurationError as exc:
+        raise ValueError(f"{spec_path}: {exc}")
+    return spec.bench_tolerance, spec.bench_absolute_tolerance
 
 
 def load_bench(path: Path) -> dict:
@@ -73,8 +104,14 @@ def check(
     current: dict,
     tolerance: float,
     absolute: bool = False,
+    absolute_tolerance: float = None,
 ) -> list:
-    """All regressions found, as human-readable strings (empty = pass)."""
+    """All regressions found, as human-readable strings (empty = pass).
+
+    ``absolute_tolerance`` bounds the absolute warm_s_per_fix comparison
+    separately (it is noisier than the ratio); it defaults to
+    ``tolerance``.
+    """
     problems = []
     base_ratio = warm_ratio(baseline)
     cur_ratio = warm_ratio(current)
@@ -86,6 +123,7 @@ def check(
             f"+{tolerance * 100:.0f}% tolerance)"
         )
     if absolute:
+        abs_tol = tolerance if absolute_tolerance is None else absolute_tolerance
         if not scenarios_match(baseline, current):
             problems.append(
                 "--absolute requested but scenarios differ; regenerate "
@@ -94,12 +132,12 @@ def check(
         else:
             base_warm = baseline["steering_cache"]["warm_s_per_fix"]
             cur_warm = current["steering_cache"]["warm_s_per_fix"]
-            if cur_warm > base_warm * (1.0 + tolerance):
+            if cur_warm > base_warm * (1.0 + abs_tol):
                 problems.append(
                     f"warm_s_per_fix regressed: {cur_warm:.6f}s > "
-                    f"{base_warm * (1.0 + tolerance):.6f}s "
+                    f"{base_warm * (1.0 + abs_tol):.6f}s "
                     f"(baseline {base_warm:.6f}s "
-                    f"+{tolerance * 100:.0f}% tolerance)"
+                    f"+{abs_tol * 100:.0f}% tolerance)"
                 )
     return problems
 
@@ -119,8 +157,16 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--tolerance",
         type=float,
-        default=0.25,
-        help="allowed fractional slowdown before failing (default: 0.25)",
+        default=None,
+        help="allowed fractional slowdown before failing (default: the "
+        "[bench] tolerance of --spec, or 0.25 without a spec)",
+    )
+    parser.add_argument(
+        "--spec",
+        type=Path,
+        default=DEFAULT_SPEC,
+        help="SLO spec supplying the [bench] tolerances "
+        "(default: repository slo.toml)",
     )
     parser.add_argument(
         "--absolute",
@@ -130,7 +176,16 @@ def main(argv=None) -> int:
         "baseline)",
     )
     args = parser.parse_args(argv)
-    if args.tolerance < 0:
+    try:
+        spec_tol, spec_abs_tol = spec_tolerances(args.spec)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    tolerance = args.tolerance
+    if tolerance is None:
+        tolerance = spec_tol if spec_tol is not None else FALLBACK_TOLERANCE
+    absolute_tolerance = spec_abs_tol if args.tolerance is None else None
+    if tolerance < 0:
         print("error: tolerance must be >= 0", file=sys.stderr)
         return 2
     try:
@@ -139,7 +194,13 @@ def main(argv=None) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    problems = check(baseline, current, args.tolerance, args.absolute)
+    problems = check(
+        baseline,
+        current,
+        tolerance,
+        args.absolute,
+        absolute_tolerance=absolute_tolerance,
+    )
     if problems:
         for problem in problems:
             print(f"REGRESSION: {problem}", file=sys.stderr)
@@ -147,7 +208,7 @@ def main(argv=None) -> int:
     print(
         f"bench guard ok: warm/direct {warm_ratio(current):.5f} vs "
         f"baseline {warm_ratio(baseline):.5f} "
-        f"(+{args.tolerance * 100:.0f}% allowed)"
+        f"(+{tolerance * 100:.0f}% allowed)"
     )
     return 0
 

@@ -28,14 +28,24 @@ def pytest_configure(config):
     the zero-overhead no-op observer.
     """
     target = os.environ.get("REPRO_BENCH_TRACE")
-    if not target:
+    profile = os.environ.get("REPRO_BENCH_PROFILE")
+    if not target and not profile:
         return
     from repro.obs import Observability, install
 
     observer = Observability(enabled=True).preregister()
     config._repro_observer = observer
-    config._repro_trace_path = target if target != "1" else None
+    config._repro_trace_path = (
+        target if target and target != "1" else None
+    )
     install(observer)
+    if profile:
+        from repro.obs import SamplingProfiler
+
+        profiler = SamplingProfiler(observer.tracer)
+        profiler.start()
+        config._repro_profiler = profiler
+        config._repro_profile_prefix = profile
 
 
 def pytest_unconfigure(config):
@@ -46,6 +56,18 @@ def pytest_unconfigure(config):
 
     from repro.obs import export_ndjson, install, summary
 
+    profiler = getattr(config, "_repro_profiler", None)
+    if profiler is not None:
+        from repro.obs import export_folded, export_speedscope
+
+        profiler.stop()
+        prefix = config._repro_profile_prefix
+        export_folded(f"{prefix}.folded", profiler.report)
+        export_speedscope(f"{prefix}.speedscope.json", profiler.report)
+        sys.__stdout__.write(
+            f"\n[obs] profiler: {profiler.report.samples_total} samples "
+            f"-> {prefix}.folded, {prefix}.speedscope.json\n"
+        )
     install(None)
     path = config._repro_trace_path
     if path:

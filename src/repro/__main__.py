@@ -8,12 +8,21 @@ Usage::
     python -m repro throughput          # Section 6 airtime budget
     python -m repro diag fix.npz        # inspect / replay a fix bundle
     python -m repro lint src            # repo-specific static analysis
+    python -m repro obs runs            # list the run ledger
+    python -m repro obs diff -2 -1     # metric-by-metric run diff
+    python -m repro obs slo             # evaluate the SLO gate
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Optional, Sequence, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from repro.obs import RunLedger
 
 from repro import (
     AoaLocalizer,
@@ -29,20 +38,57 @@ from repro.ble.throughput import throughput_with_localization
 from repro.viz import render_map, render_testbed
 
 
-def _maybe_observed(args, body) -> int:
-    """Run ``body`` under observability when --trace/--metrics ask for it.
+def _ledger_path(args: argparse.Namespace) -> Optional[Union[str, Path]]:
+    """The run-ledger target for this invocation, or None when off.
+
+    ``--no-ledger`` disables; ``--ledger PATH`` overrides; otherwise
+    commands that opt into the ledger (evaluate) append to
+    ``$REPRO_RUNS_LEDGER`` or ``./runs.ndjson``.
+    """
+    if getattr(args, "no_ledger", False):
+        return None
+    if not getattr(args, "_ledger_default_on", False) and not getattr(
+        args, "ledger", None
+    ):
+        return None
+    from repro.obs import default_ledger_path
+
+    explicit = getattr(args, "ledger", None)
+    return explicit if explicit else default_ledger_path()
+
+
+def _maybe_observed(
+    args: argparse.Namespace, body: Callable[[], int]
+) -> int:
+    """Run ``body`` under observability when the flags ask for it.
 
     With ``--trace PATH`` the run's spans and metrics are exported as
-    NDJSON to PATH; with either flag the span-timing and metrics summary
-    tables are printed after the command output.
+    NDJSON to PATH; with ``--metrics`` (or ``--trace``) the span-timing
+    and metrics summary tables are printed after the command output.
+    With ``--profile PREFIX`` (or ``REPRO_PROFILE=PREFIX``) a sampling
+    profiler runs for the duration and writes ``PREFIX.folded`` plus
+    ``PREFIX.speedscope.json``.  Commands wired to the run ledger also
+    append a RunRecord -- which needs a live observer, so the ledger
+    alone is enough to enable one.
     """
     trace_path = getattr(args, "trace", None)
     want_metrics = getattr(args, "metrics", False)
-    if not trace_path and not want_metrics:
+    profile_prefix = getattr(args, "profile", None) or os.environ.get(
+        "REPRO_PROFILE"
+    )
+    ledger_target = _ledger_path(args)
+    if not any([trace_path, want_metrics, profile_prefix, ledger_target]):
         return body()
-    from pathlib import Path
-
-    from repro.obs import export_ndjson, observed, summary
+    from repro.obs import (
+        RunLedger,
+        SamplingProfiler,
+        build_run_record,
+        export_folded,
+        export_ndjson,
+        export_speedscope,
+        observed,
+        summary,
+    )
 
     if trace_path and not Path(trace_path).parent.is_dir():
         print(
@@ -51,27 +97,77 @@ def _maybe_observed(args, body) -> int:
             file=sys.stderr,
         )
         return 2
+    artifacts = []
+    profile_snapshot = None
     with observed() as obs:
-        status = body()
+        profiler = (
+            SamplingProfiler(obs.tracer).start()
+            if profile_prefix
+            else None
+        )
+        try:
+            status = body()
+        finally:
+            if profiler is not None:
+                profile_snapshot = profiler.stop().snapshot()
     if trace_path:
         lines = export_ndjson(trace_path, obs, command=args.command)
+        artifacts.append(trace_path)
         print(f"[obs] wrote {lines} NDJSON lines to {trace_path}")
-    print(summary(obs))
+    if profiler is not None:
+        folded_path = f"{profile_prefix}.folded"
+        speedscope_path = f"{profile_prefix}.speedscope.json"
+        export_folded(folded_path, profiler.report)
+        export_speedscope(
+            speedscope_path, profiler.report, name=args.command
+        )
+        artifacts += [folded_path, speedscope_path]
+        print(
+            f"[obs] profiler: {profiler.report.samples_total} samples "
+            f"-> {folded_path}, {speedscope_path}"
+        )
+    if ledger_target is not None and status == 0:
+        record = build_run_record(
+            command=args.command,
+            observer=obs,
+            workers=getattr(args, "workers", None),
+            config=_command_config(args),
+            results=getattr(args, "_ledger_results", None),
+            artifacts=artifacts,
+            profile=profile_snapshot,
+        )
+        RunLedger(ledger_target).append(record)
+        print(f"[obs] run {record.run_id} appended to {ledger_target}")
+    if want_metrics or trace_path:
+        print(summary(obs))
     return status
 
 
-def cmd_demo(args) -> int:
+def _command_config(args: argparse.Namespace) -> dict:
+    """The fingerprintable configuration of a CLI invocation."""
+    keep = (
+        "command", "num", "seed", "workers", "no_engine", "x", "y",
+        "bundle_worst",
+    )
+    return {
+        key: getattr(args, key)
+        for key in keep
+        if getattr(args, key, None) is not None
+    }
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
     return _maybe_observed(args, lambda: _run_demo(args))
 
 
-def _bloc_localizer(args) -> BlocLocalizer:
+def _bloc_localizer(args: argparse.Namespace) -> BlocLocalizer:
     """A BLoc localizer honouring the --no-engine flag."""
     if getattr(args, "no_engine", False):
         return BlocLocalizer(engine=None)
     return BlocLocalizer()
 
 
-def _run_demo(args) -> int:
+def _run_demo(args: argparse.Namespace) -> int:
     testbed = vicon_testbed()
     model = ChannelMeasurementModel(testbed=testbed, seed=args.seed)
     tag = Point(args.x, args.y)
@@ -93,11 +189,11 @@ def _run_demo(args) -> int:
     return 0
 
 
-def cmd_evaluate(args) -> int:
+def cmd_evaluate(args: argparse.Namespace) -> int:
     return _maybe_observed(args, lambda: _run_evaluate(args))
 
 
-def _run_evaluate(args) -> int:
+def _run_evaluate(args: argparse.Namespace) -> int:
     testbed = vicon_testbed()
     dataset = build_dataset(testbed, num_positions=args.num, seed=args.seed)
     schemes = {
@@ -125,7 +221,16 @@ def _run_evaluate(args) -> int:
             workers=args.workers,
             capture=capture,
         )
-        print(f"{name:<18} {run.stats().summary()}")
+        stats = run.stats()
+        print(f"{name:<18} {stats.summary()}")
+        # Headline numbers for the run ledger (keys are slugged per
+        # scheme so a diff lines BLoc up against BLoc across runs).
+        slug = name.lower().replace(" ", "_").replace("-", "_")
+        results = getattr(args, "_ledger_results", None) or {}
+        results[f"{slug}.median_m"] = stats.median_m()
+        results[f"{slug}.p95_m"] = stats.percentile_m(95)
+        results[f"{slug}.failed"] = run.num_failed
+        args._ledger_results = results
         if capture is not None:
             print(
                 f"[diag] wrote {len(capture.written)} fix bundle(s) "
@@ -136,7 +241,7 @@ def _run_evaluate(args) -> int:
     return 0
 
 
-def cmd_diag(args) -> int:
+def cmd_diag(args: argparse.Namespace) -> int:
     from repro.errors import ReproError
     from repro.obs import load_fix_bundle, render_bundle
 
@@ -149,19 +254,92 @@ def cmd_diag(args) -> int:
     return 0
 
 
-def cmd_lint(args) -> int:
+def cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.cli import run_lint
 
     return run_lint(args)
 
 
-def cmd_floorplan(args) -> int:
+def cmd_obs(args: argparse.Namespace) -> int:
+    """Run-ledger and SLO tooling (``repro obs runs|diff|report|slo``)."""
+    from repro.errors import ConfigurationError
+    from repro.obs import RunLedger, default_ledger_path
+
+    ledger = RunLedger(args.ledger or default_ledger_path())
+    try:
+        if args.obs_command == "runs":
+            return _obs_runs(args, ledger)
+        if args.obs_command == "diff":
+            return _obs_diff(args, ledger)
+        if args.obs_command == "report":
+            return _obs_report(args, ledger)
+        return _obs_slo(args, ledger)
+    except (ConfigurationError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _obs_runs(args: argparse.Namespace, ledger: "RunLedger") -> int:
+    from repro.obs import render_runs
+
+    print(render_runs(ledger.last(args.num)))
+    return 0
+
+
+def _obs_diff(args: argparse.Namespace, ledger: "RunLedger") -> int:
+    from repro.obs import render_diff
+
+    record_a = ledger.resolve(args.a)
+    record_b = ledger.resolve(args.b)
+    print(render_diff(record_a, record_b, min_pct=args.min_change))
+    return 0
+
+
+def _obs_report(args: argparse.Namespace, ledger: "RunLedger") -> int:
+    from repro.obs import render_report
+
+    print(render_report(ledger.last(args.num), min_pct=args.min_change))
+    return 0
+
+
+def _obs_slo(args: argparse.Namespace, ledger: "RunLedger") -> int:
+    """Evaluate the SLO gate; exit 1 on violation (the CI contract)."""
+    import json
+    from pathlib import Path
+
+    from repro.obs import (
+        evaluate_slos,
+        load_slo_spec,
+        render_slo_results,
+        slo_exit_code,
+    )
+
+    spec = load_slo_spec(args.spec)
+    bench = None
+    bench_path = Path(args.bench) if args.bench else None
+    if bench_path is not None:
+        if not bench_path.exists():
+            print(
+                f"error: bench payload not found: {bench_path}",
+                file=sys.stderr,
+            )
+            return 2
+        bench = json.loads(bench_path.read_text(encoding="utf-8"))
+    results = evaluate_slos(
+        spec, bench=bench, ledger_records=ledger.load()
+    )
+    print(f"[slo] spec {spec.path}, {len(spec.rules)} rule(s)")
+    print(render_slo_results(results))
+    return slo_exit_code(results)
+
+
+def cmd_floorplan(args: argparse.Namespace) -> int:
     print(render_testbed(vicon_testbed(), width=args.width))
     print("M = master anchor, A = anchors, # = reflectors/clutter")
     return 0
 
 
-def cmd_throughput(args) -> int:
+def cmd_throughput(args: argparse.Namespace) -> int:
     report = throughput_with_localization(
         sweeps_per_second=args.sweeps
     )
@@ -176,14 +354,14 @@ def cmd_throughput(args) -> int:
     return 0
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="BLoc (CoNEXT 2018) reproduction CLI",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_obs_flags(command):
+    def add_obs_flags(command: argparse.ArgumentParser) -> None:
         command.add_argument(
             "--trace",
             metavar="PATH",
@@ -195,8 +373,33 @@ def main(argv=None) -> int:
             action="store_true",
             help="print the span-timing and metrics summary tables",
         )
+        command.add_argument(
+            "--profile",
+            metavar="PREFIX",
+            default=None,
+            help="run the sampling profiler and write PREFIX.folded "
+            "(flamegraph) and PREFIX.speedscope.json "
+            "(env REPRO_PROFILE=PREFIX does the same)",
+        )
 
-    def add_perf_flags(command):
+    def add_ledger_flags(
+        command: argparse.ArgumentParser, default_on: bool
+    ) -> None:
+        command.add_argument(
+            "--ledger",
+            metavar="PATH",
+            default=None,
+            help="append this run's RunRecord to PATH "
+            "(default: $REPRO_RUNS_LEDGER or ./runs.ndjson)",
+        )
+        command.add_argument(
+            "--no-ledger",
+            action="store_true",
+            help="do not append a RunRecord for this run",
+        )
+        command.set_defaults(_ledger_default_on=default_on)
+
+    def add_perf_flags(command: argparse.ArgumentParser) -> None:
         command.add_argument(
             "--workers",
             type=int,
@@ -240,6 +443,8 @@ def main(argv=None) -> int:
     )
     add_obs_flags(ev)
     add_perf_flags(ev)
+    # Every evaluate run lands in the persistent ledger unless opted out.
+    add_ledger_flags(ev, default_on=True)
     ev.set_defaults(func=cmd_evaluate)
 
     diag = sub.add_parser(
@@ -266,6 +471,72 @@ def main(argv=None) -> int:
 
     add_lint_arguments(lint)
     lint.set_defaults(func=cmd_lint)
+
+    obs = sub.add_parser(
+        "obs", help="run ledger and SLO tooling (runs/diff/report/slo)"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    def add_obs_ledger_arg(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--ledger",
+            metavar="PATH",
+            default=None,
+            help="ledger file (default: $REPRO_RUNS_LEDGER or "
+            "./runs.ndjson)",
+        )
+
+    obs_runs = obs_sub.add_parser("runs", help="list recorded runs")
+    obs_runs.add_argument(
+        "-n", "--num", type=int, default=20,
+        help="show the most recent N runs (default: 20)",
+    )
+    add_obs_ledger_arg(obs_runs)
+
+    obs_diff = obs_sub.add_parser(
+        "diff", help="metric-by-metric diff of two runs"
+    )
+    obs_diff.add_argument(
+        "a", nargs="?", default="-2",
+        help="run_id prefix or index (default: -2, the previous run)",
+    )
+    obs_diff.add_argument(
+        "b", nargs="?", default="-1",
+        help="run_id prefix or index (default: -1, the latest run)",
+    )
+    obs_diff.add_argument(
+        "--min-change", type=float, default=0.0, metavar="FRAC",
+        help="hide rows whose relative change is below FRAC",
+    )
+    add_obs_ledger_arg(obs_diff)
+
+    obs_report = obs_sub.add_parser(
+        "report", help="regression report over recent runs"
+    )
+    obs_report.add_argument(
+        "-n", "--num", type=int, default=10,
+        help="consider the most recent N runs (default: 10)",
+    )
+    obs_report.add_argument(
+        "--min-change", type=float, default=0.0, metavar="FRAC",
+        help="hide diff rows whose relative change is below FRAC",
+    )
+    add_obs_ledger_arg(obs_report)
+
+    obs_slo = obs_sub.add_parser(
+        "slo", help="evaluate the SLO gate (exit 1 on violation)"
+    )
+    obs_slo.add_argument(
+        "--spec", metavar="PATH", default=None,
+        help="slo.toml spec (default: the repository slo.toml)",
+    )
+    obs_slo.add_argument(
+        "--bench", metavar="PATH", default="BENCH_localize.json",
+        help="bench payload for source='bench' rules "
+        "(default: BENCH_localize.json; pass '' to skip)",
+    )
+    add_obs_ledger_arg(obs_slo)
+    obs.set_defaults(func=cmd_obs)
 
     plan = sub.add_parser("floorplan", help="render the default testbed")
     plan.add_argument("--width", type=int, default=66)

@@ -785,6 +785,12 @@ WORKER_REACHABLE: Dict[str, Tuple[str, ...]] = {
         "Histogram.merge",
         "MetricsRegistry.merge",
     ),
+    "repro/obs/ledger.py": ("RunLedger.append",),
+    "repro/obs/prof.py": (
+        "SamplingProfiler.sample_once",
+        "SamplingProfiler.stop",
+    ),
+    "repro/obs/trace.py": ("Tracer.active_stacks",),
     "repro/sim/runner.py": (
         "DiagnosticsCapture.collect",
         "_WorkerRegistries.current",

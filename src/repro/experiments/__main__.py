@@ -15,13 +15,23 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from typing import Dict, Optional, Sequence
 
 from repro.experiments import EXPERIMENTS
 from repro.experiments.common import eval_points
+from repro.obs import get_observer
+from repro.obs.ledger import RunLedger, build_run_record
 
 
-def build_report(experiment_ids) -> str:
-    """Run the selected experiments and assemble the markdown report."""
+def build_report(
+    experiment_ids: Sequence[str],
+    timings: Optional[Dict[str, float]] = None,
+) -> str:
+    """Run the selected experiments and assemble the markdown report.
+
+    When ``timings`` is a dict it is filled with
+    ``{experiment_id: elapsed_seconds}`` for the run ledger.
+    """
     sections = [
         "# EXPERIMENTS — paper vs measured",
         "",
@@ -39,6 +49,8 @@ def build_report(experiment_ids) -> str:
         start = time.perf_counter()
         result = runner()
         elapsed = time.perf_counter() - start
+        if timings is not None:
+            timings[experiment_id] = elapsed
         sections.append(f"## {result.experiment_id}: {result.title}")
         sections.append("")
         sections.append("```")
@@ -49,7 +61,7 @@ def build_report(experiment_ids) -> str:
     return "\n".join(sections)
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Run the BLoc figure reproductions"
     )
@@ -62,18 +74,48 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--output", help="write the report to this file instead of stdout"
     )
+    parser.add_argument(
+        "--ledger",
+        metavar="PATH",
+        help="append a RunRecord to this NDJSON run ledger "
+        "(default: runs.ndjson, or REPRO_RUNS_LEDGER)",
+    )
+    parser.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="skip the run-ledger append",
+    )
     args = parser.parse_args(argv)
     ids = args.experiments or list(EXPERIMENTS)
     unknown = [i for i in ids if i not in EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiments: {unknown}")
-    report = build_report(ids)
+    timings = {}
+    report = build_report(ids, timings=timings)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(report)
         print(f"wrote {args.output}")
     else:
         print(report)
+    if not args.no_ledger:
+        ledger = RunLedger(args.ledger)
+        record = build_run_record(
+            "experiments",
+            get_observer(),
+            label=",".join(ids),
+            config={"experiments": ids, "eval_points": eval_points()},
+            results={
+                f"{exp_id}.elapsed_s": elapsed
+                for exp_id, elapsed in timings.items()
+            },
+            artifacts=[args.output] if args.output else [],
+        )
+        ledger.append(record)
+        print(
+            f"[obs] run {record.run_id} appended to {ledger.path}",
+            file=sys.stderr,
+        )
     return 0
 
 

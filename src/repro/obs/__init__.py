@@ -35,17 +35,33 @@ from repro.obs.diag import (
     save_fix_bundle,
 )
 from repro.obs.export import (
+    export_folded,
     export_ndjson,
+    export_speedscope,
+    folded_stacks,
     format_table,
     load_ndjson,
     metrics_summary,
     span_summary,
+    speedscope_document,
     summary,
 )
 from repro.obs.health import (
     AnchorHealthMonitor,
     AnomalyEvent,
     HealthThresholds,
+)
+from repro.obs.ledger import (
+    RunLedger,
+    RunRecord,
+    build_run_record,
+    default_ledger_path,
+    diff_records,
+    fingerprint_of,
+    render_diff,
+    render_report,
+    render_runs,
+    span_quantiles,
 )
 from repro.obs.metrics import (
     COUNT_BUCKETS,
@@ -55,7 +71,17 @@ from repro.obs.metrics import (
     LATENCY_BUCKETS_S,
     MetricsRegistry,
 )
-from repro.obs.trace import Span, Tracer
+from repro.obs.prof import ProfileReport, SamplingProfiler
+from repro.obs.slo import (
+    SloResult,
+    SloRule,
+    SloSpec,
+    evaluate_slos,
+    load_slo_spec,
+    render_slo_results,
+    slo_exit_code,
+)
+from repro.obs.trace import Span, SpanHandle, Tracer
 
 __all__ = [
     "AnchorHealthMonitor",
@@ -71,22 +97,46 @@ __all__ = [
     "LATENCY_BUCKETS_S",
     "MetricsRegistry",
     "Observability",
+    "ProfileReport",
+    "RunLedger",
+    "RunRecord",
     "STANDARD_METRICS",
+    "SamplingProfiler",
+    "SloResult",
+    "SloRule",
+    "SloSpec",
     "Span",
+    "SpanHandle",
     "Tracer",
+    "build_run_record",
     "bundle_filename",
     "bundle_from_fix",
+    "default_ledger_path",
+    "diff_records",
+    "evaluate_slos",
+    "export_folded",
     "export_ndjson",
+    "export_speedscope",
+    "fingerprint_of",
+    "folded_stacks",
     "format_table",
     "get_observer",
     "install",
     "load_fix_bundle",
     "load_ndjson",
+    "load_slo_spec",
     "metrics_summary",
     "observed",
     "render_bundle",
+    "render_diff",
+    "render_report",
+    "render_runs",
+    "render_slo_results",
     "save_fix_bundle",
+    "slo_exit_code",
+    "span_quantiles",
     "span_summary",
+    "speedscope_document",
     "summary",
     "traced",
 ]

@@ -22,13 +22,16 @@ from __future__ import annotations
 import json
 import math
 from pathlib import Path
-from typing import Dict, List, Sequence, Union
+from typing import TYPE_CHECKING, Dict, List, Sequence, Union
 
 import numpy as np
 
 from repro.obs.context import Observability
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Span
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.obs.prof import ProfileReport
 
 NDJSON_FORMAT = "repro-obs"
 NDJSON_VERSION = 1
@@ -241,3 +244,90 @@ def summary(observer: Observability) -> str:
         metrics_summary(observer.metrics),
     ]
     return "\n".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Profiler exports (flamegraph / speedscope)
+# ---------------------------------------------------------------------------
+
+#: JSON schema URL speedscope uses to recognise its file format.
+SPEEDSCOPE_SCHEMA = "https://www.speedscope.app/file-format-schema.json"
+
+
+def folded_stacks(report: "ProfileReport") -> str:
+    """Brendan-Gregg folded-stack text for one profile report.
+
+    One line per unique span-stack path, ``root;child;leaf <count>``,
+    sorted by descending count -- the input format of
+    ``flamegraph.pl`` and most flamegraph viewers.
+    """
+    ranked = sorted(
+        report.stacks.items(), key=lambda kv: (-kv[1], kv[0])
+    )
+    return "\n".join(
+        f"{';'.join(stack)} {count}" for stack, count in ranked
+    )
+
+
+def export_folded(path: Union[str, Path], report: "ProfileReport") -> int:
+    """Write folded-stack flamegraph text; returns the line count."""
+    text = folded_stacks(report)
+    Path(path).write_text(
+        text + ("\n" if text else ""), encoding="utf-8"
+    )
+    return len(report.stacks)
+
+
+def speedscope_document(
+    report: "ProfileReport", name: str = "repro"
+) -> dict:
+    """A speedscope-compatible ``sampled`` profile document.
+
+    Each unique stack becomes one sample whose weight is
+    ``count * interval_s`` seconds; frame order is root-first, matching
+    speedscope's convention.  The document is strict JSON (no NaN/Inf)
+    and loads directly at https://www.speedscope.app.
+    """
+    frame_index: Dict[str, int] = {}
+    frames: List[dict] = []
+    samples: List[List[int]] = []
+    weights: List[float] = []
+    ranked = sorted(
+        report.stacks.items(), key=lambda kv: (-kv[1], kv[0])
+    )
+    for stack, count in ranked:
+        indices = []
+        for frame_name in stack:
+            if frame_name not in frame_index:
+                frame_index[frame_name] = len(frames)
+                frames.append({"name": frame_name})
+            indices.append(frame_index[frame_name])
+        samples.append(indices)
+        weights.append(count * report.interval_s)
+    return {
+        "$schema": SPEEDSCOPE_SCHEMA,
+        "name": name,
+        "shared": {"frames": frames},
+        "profiles": [
+            {
+                "type": "sampled",
+                "name": name,
+                "unit": "seconds",
+                "startValue": 0,
+                "endValue": _json_safe(sum(weights)),
+                "samples": samples,
+                "weights": weights,
+            }
+        ],
+    }
+
+
+def export_speedscope(
+    path: Union[str, Path], report: "ProfileReport", name: str = "repro"
+) -> int:
+    """Write a speedscope JSON profile; returns the sample count."""
+    document = speedscope_document(report, name=name)
+    Path(path).write_text(
+        json.dumps(document, allow_nan=False) + "\n", encoding="utf-8"
+    )
+    return len(document["profiles"][0]["samples"])

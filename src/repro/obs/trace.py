@@ -21,7 +21,23 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, NamedTuple, Optional, Union
+
+
+class SpanHandle(NamedTuple):
+    """A picklable reference to an open span, for cross-worker handoff.
+
+    A :class:`Span` object is bound to the tracer and thread that opened
+    it; a handle carries just the identity (``span_id``), tree position
+    (``depth``) and ``name`` -- everything a worker (thread today, a
+    process-pool child tomorrow) needs to parent its own spans under the
+    originating span without sharing the object itself.  See
+    :meth:`Tracer.attached`, which accepts handles directly.
+    """
+
+    span_id: int
+    depth: int
+    name: str
 
 
 @dataclass
@@ -61,6 +77,12 @@ class Span:
         self.attributes.update(attributes)
         return self
 
+    def handle(self) -> SpanHandle:
+        """A picklable :class:`SpanHandle` for cross-worker propagation."""
+        return SpanHandle(
+            span_id=self.span_id, depth=self.depth, name=self.name
+        )
+
 
 class _SpanContext:
     """Context manager guarding one span's enter/exit bookkeeping."""
@@ -86,20 +108,43 @@ class Tracer:
 
     Attributes:
         clock: monotonic time source (injectable for tests).
+
+    Args:
+        id_offset: start span ids at ``id_offset + 1``.  A process-pool
+            worker tracer must be created with a disjoint offset (e.g.
+            ``worker_index << 32``) so that spans merged back into the
+            parent's export never collide on ``span_id``; in-process
+            tracers keep the default 0.
     """
 
-    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.perf_counter,
+        id_offset: int = 0,
+    ):
         self.clock = clock
-        self._ids = itertools.count(1)
+        self._ids = itertools.count(1 + id_offset)
         self._local = threading.local()
         self._lock = threading.Lock()
         self._finished: List[Span] = []
+        # Thread ident -> (thread name, that thread's live stack list).
+        # Registered once per thread (on first _stack()) and never
+        # removed: a registered list is aliased by the owning thread's
+        # thread-local slot, so dropping the registry entry would
+        # desynchronise the two.  Entries of finished threads hold empty
+        # lists and cost a few bytes each.
+        self._stacks: Dict[int, tuple] = {}
 
     def _stack(self) -> List[Span]:
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = []
             self._local.stack = stack
+            with self._lock:
+                self._stacks[threading.get_ident()] = (
+                    threading.current_thread().name,
+                    stack,
+                )
         return stack
 
     def span(self, name: str, **attributes: Any) -> _SpanContext:
@@ -139,8 +184,31 @@ class Tracer:
         stack = self._stack()
         return stack[-1] if stack else None
 
+    def active_stacks(self) -> Dict[str, List[Span]]:
+        """Every thread's open-span stack, outermost first (thread-safe).
+
+        Used by the sampling profiler to attribute wall-clock samples to
+        whatever spans are open *right now* on *any* thread, without the
+        sampled threads cooperating.  The registry is copied under the
+        tracer lock; each stack list is then shallow-copied, which is
+        atomic under the GIL with respect to the owning thread's
+        append/pop, so a sample sees a consistent (if instantaneously
+        stale) stack.  Threads with no open span are omitted.
+
+        Returns:
+            ``{"<thread name>#<ident>": [root span, ..., innermost]}``.
+        """
+        with self._lock:
+            items = list(self._stacks.items())
+        snapshot: Dict[str, List[Span]] = {}
+        for ident, (name, stack) in items:
+            copied = list(stack)
+            if copied:
+                snapshot[f"{name}#{ident}"] = copied
+        return snapshot
+
     @contextmanager
-    def attached(self, parent: Optional[Span]):
+    def attached(self, parent: Optional[Union[Span, SpanHandle]]):
         """Adopt ``parent`` as this thread's active span for a block.
 
         The active-span stack is thread-local, so work handed to a pool
@@ -152,10 +220,27 @@ class Tracer:
         *borrowed*, never finished here -- only its owning thread's
         context manager closes it.  ``parent=None`` is a no-op, so
         callers can pass ``tracer.active()`` straight through.
+
+        ``parent`` may also be a :class:`SpanHandle` (see
+        :meth:`Span.handle`): the handle is materialised as a borrowed
+        placeholder span carrying the original id and depth, so the
+        caller only needs to ship a picklable triple across the worker
+        boundary -- the contract a process-pool backend relies on.
         """
         if parent is None:
             yield
             return
+        if isinstance(parent, SpanHandle):
+            # Borrowed placeholder: same id/depth as the original, never
+            # finished or collected here (status stays "borrowed").
+            parent = Span(
+                name=parent.name,
+                span_id=parent.span_id,
+                parent_id=None,
+                depth=parent.depth,
+                start_s=float("nan"),
+                status="borrowed",
+            )
         stack = self._stack()
         stack.append(parent)
         try:

@@ -303,15 +303,18 @@ def _sweep(entries: Sequence, run_fix, workers: int) -> List[EvaluationRecord]:
     # The active-span stack is thread-local: without re-attaching the
     # caller's span in each worker, every per-fix span under workers=N
     # would be an orphaned root instead of a child of the evaluation
-    # span.  The parent is borrowed read-only, so sharing it across
-    # workers is safe.
+    # span.  The parent crosses the worker boundary as a picklable
+    # SpanHandle (span id + depth), not as the Span object -- the same
+    # propagation contract a process-pool backend will use -- and
+    # tracer.attached() materialises it as a borrowed placeholder.
     parent = observer.tracer.active() if observer.enabled else None
+    handle = parent.handle() if parent is not None else None
 
     def job(item):
         index, entry = item
         metrics = worker_metrics.current() if worker_metrics else None
-        if parent is not None:
-            with observer.tracer.attached(parent):
+        if handle is not None:
+            with observer.tracer.attached(handle):
                 return run_fix(index, entry, metrics)
         return run_fix(index, entry, metrics)
 
@@ -411,7 +414,13 @@ def evaluate(
             failure_reason=failure_reason,
         )
 
-    records = _sweep(entries, run_fix, workers)
+    # The evaluate root span is what per-fix spans merge back under when
+    # workers fan out (see _sweep's handle propagation); it also gives
+    # the sampling profiler a stable outermost frame for sweep time.
+    with observer.span(
+        "evaluate", label=label, workers=workers, fixes=len(entries)
+    ):
+        records = _sweep(entries, run_fix, workers)
     if capture is not None:
         _finalize_capture(capture, localizer, label, records)
     return EvaluationRun(label=label, records=records)
@@ -488,6 +497,12 @@ def evaluate_anchor_subsets(
             failure_reason=None if finite else failure_reason,
         )
 
-    return EvaluationRun(
-        label=label, records=_sweep(entries, run_fix, workers)
-    )
+    with observer.span(
+        "evaluate",
+        label=label,
+        workers=workers,
+        fixes=len(entries),
+        subset_size=subset_size,
+    ):
+        records = _sweep(entries, run_fix, workers)
+    return EvaluationRun(label=label, records=records)

@@ -64,3 +64,14 @@ def clean_observations(los_testbed, tag_position):
 def rng():
     """A fresh deterministic generator per test."""
     return np.random.default_rng(12345)
+
+
+@pytest.fixture(autouse=True)
+def _ledger_in_tmp(tmp_path, monkeypatch):
+    """Keep run-ledger appends out of the working tree during tests.
+
+    CLI commands append to ``runs.ndjson`` by default; tests that do not
+    pass ``--ledger`` explicitly would otherwise litter the repository
+    root.  Tests asserting ledger behaviour override the path anyway.
+    """
+    monkeypatch.setenv("REPRO_RUNS_LEDGER", str(tmp_path / "runs.ndjson"))

@@ -87,10 +87,138 @@ class TestCliObservability:
     def test_evaluate_without_flags_stays_unobserved(self, capsys):
         from repro.obs import get_observer
 
-        assert main(["evaluate", "-n", "2"]) == 0
+        assert main(["evaluate", "-n", "2", "--no-ledger"]) == 0
         out = capsys.readouterr().out
         assert "span timings" not in out
         assert get_observer().enabled is False
+
+    def test_evaluate_profile_exports_flamegraph(self, capsys, tmp_path):
+        import json
+
+        prefix = tmp_path / "prof"
+        assert main(
+            ["evaluate", "-n", "2", "--no-ledger",
+             "--profile", str(prefix)]
+        ) == 0
+        folded = (tmp_path / "prof.folded").read_text(encoding="utf-8")
+        for line in folded.strip().splitlines():
+            stack, _, count = line.rpartition(" ")
+            assert stack and int(count) > 0
+        doc = json.loads(
+            (tmp_path / "prof.speedscope.json").read_text(
+                encoding="utf-8"
+            )
+        )
+        assert doc["profiles"][0]["type"] == "sampled"
+        out = capsys.readouterr().out
+        assert "[obs] profiler:" in out
+
+
+class TestCliLedgerAndSlo:
+    def _evaluate(self, ledger_path, n="2"):
+        return main(
+            ["evaluate", "-n", n, "--ledger", str(ledger_path)]
+        )
+
+    def test_evaluate_appends_run_record(self, capsys, tmp_path):
+        from repro.obs import RunLedger
+
+        path = tmp_path / "runs.ndjson"
+        assert self._evaluate(path) == 0
+        (record,) = RunLedger(path).load()
+        assert record["type"] == "run"
+        assert record["command"] == "evaluate"
+        assert record["host"]["cpu_count"] >= 1
+        assert "fix" in record["spans"]
+        assert any(
+            key.endswith(".median_m") for key in record["results"]
+        )
+        assert "[obs] run" in capsys.readouterr().out
+
+    def test_obs_runs_diff_report(self, capsys, tmp_path):
+        path = tmp_path / "runs.ndjson"
+        assert self._evaluate(path) == 0
+        assert self._evaluate(path) == 0
+        capsys.readouterr()
+
+        assert main(["obs", "runs", "--ledger", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "run_id" in out and out.count("evaluate") == 2
+
+        assert main(
+            ["obs", "diff", "--ledger", str(path), "--", "-2", "-1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "A:" in out and "B:" in out
+        assert "result:bloc.median_m" in out
+
+        assert main(["obs", "report", "--ledger", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "== runs ==" in out
+        assert "latest diff" in out
+
+    def test_obs_runs_empty_ledger(self, capsys, tmp_path):
+        path = tmp_path / "absent.ndjson"
+        assert main(["obs", "runs", "--ledger", str(path)]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_obs_diff_bad_ref_errors(self, capsys, tmp_path):
+        path = tmp_path / "runs.ndjson"
+        assert self._evaluate(path) == 0
+        capsys.readouterr()
+        assert main(
+            ["obs", "diff", "--ledger", str(path), "zzz", "-1"]
+        ) == 2
+        assert "error" in capsys.readouterr().err
+
+    SLO_SPEC = """\
+[slo.warm_fix_s]
+source = "bench"
+key = "steering_cache.warm_s_per_fix"
+max = 0.1
+
+[slo.cache_hit_rate]
+source = "ledger"
+kind = "ratio"
+num = "metric:engine.cache_hits"
+den = ["metric:engine.cache_hits", "metric:engine.cache_misses"]
+min = 0.5
+"""
+
+    def test_obs_slo_gate_passes_and_fails(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "runs.ndjson"
+        assert self._evaluate(path) == 0
+        capsys.readouterr()
+        spec_path = tmp_path / "slo.toml"
+        spec_path.write_text(self.SLO_SPEC, encoding="utf-8")
+        bench = {
+            "benchmark": "localize",
+            "steering_cache": {"warm_s_per_fix": 0.01},
+        }
+        bench_path = tmp_path / "bench.json"
+        bench_path.write_text(json.dumps(bench), encoding="utf-8")
+        gate = [
+            "obs", "slo", "--ledger", str(path),
+            "--spec", str(spec_path), "--bench", str(bench_path),
+        ]
+        assert main(gate) == 0
+        out = capsys.readouterr().out
+        assert "SLO gate: 2 ok, 0 failed, 0 skipped" in out
+
+        bench["steering_cache"]["warm_s_per_fix"] = 5.0
+        bench_path.write_text(json.dumps(bench), encoding="utf-8")
+        assert main(gate) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+
+    def test_obs_slo_missing_bench_errors(self, capsys, tmp_path):
+        assert main(
+            ["obs", "slo", "--ledger", str(tmp_path / "runs.ndjson"),
+             "--bench", str(tmp_path / "absent.json")]
+        ) == 2
+        assert "error" in capsys.readouterr().err
 
 
 class TestCliDiagnostics:

@@ -85,6 +85,24 @@ class TestNdjson:
         assert [b["count"] for b in hist["buckets"]] == [1, 1, 0]
         assert hist["p50"] is not None and hist["p95"] is not None
 
+    def test_span_with_non_finite_attributes_round_trips(self, tmp_path):
+        obs = Observability(enabled=True)
+        with obs.span("weird") as span:
+            span.set(snr_db=float("inf"), offset=float("nan"),
+                     floor_db=float("-inf"))
+        path = tmp_path / "run.ndjson"
+        export_ndjson(path, obs)
+        for line in path.read_text().splitlines():
+            json.loads(line)  # strict: would reject bare NaN/Infinity
+        (span_record,) = [
+            r for r in load_ndjson(path) if r["type"] == "span"
+        ]
+        assert span_record["attributes"] == {
+            "snr_db": "Infinity",
+            "offset": None,
+            "floor_db": "-Infinity",
+        }
+
     def test_load_rejects_garbage(self, tmp_path):
         bad = tmp_path / "bad.ndjson"
         bad.write_text("not json\n")

@@ -213,6 +213,25 @@ class TestMerge:
         with pytest.raises(ConfigurationError):
             main.merge(worker)
 
+    @pytest.mark.parametrize(
+        "make_main, make_worker",
+        [
+            (lambda r: r.counter("x"), lambda r: r.histogram("x", (1.0,))),
+            (lambda r: r.histogram("x", (1.0,)), lambda r: r.counter("x")),
+            (lambda r: r.gauge("x"), lambda r: r.histogram("x", (1.0,))),
+            (lambda r: r.histogram("x", (1.0,)), lambda r: r.gauge("x")),
+            (lambda r: r.gauge("x"), lambda r: r.counter("x")),
+        ],
+    )
+    def test_registry_merge_every_kind_conflict_raises(
+        self, make_main, make_worker
+    ):
+        main, worker = MetricsRegistry(), MetricsRegistry()
+        make_main(main)
+        make_worker(worker)
+        with pytest.raises(ConfigurationError):
+            main.merge(worker)
+
     def test_merge_of_empty_registries_is_noop(self):
         main = MetricsRegistry()
         assert main.merge(MetricsRegistry()) is main

@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
+import pickle
 import threading
 
 import pytest
 
-from repro.obs.trace import Tracer
+from repro.obs.trace import SpanHandle, Tracer
 
 
 class FakeClock:
@@ -128,3 +129,116 @@ class TestThreads:
         assert len(tracer) == 1
         tracer.reset()
         assert tracer.finished() == []
+
+
+class TestSpanHandle:
+    def test_handle_carries_identity_and_pickles(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("evaluate") as span:
+            handle = span.handle()
+        assert handle == SpanHandle(
+            span_id=span.span_id, depth=span.depth, name="evaluate"
+        )
+        assert pickle.loads(pickle.dumps(handle)) == handle
+
+    def test_attached_span_parents_children_under_handle(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("evaluate") as parent:
+            handle = parent.handle()
+        with tracer.attached(handle):
+            with tracer.span("fix") as child:
+                pass
+        assert child.parent_id == parent.span_id
+        assert child.depth == parent.depth + 1
+        # The borrowed placeholder is never collected as finished.
+        names = [s.name for s in tracer.finished()]
+        assert names.count("evaluate") == 1
+
+    def test_attached_accepts_span_and_none(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("root") as root:
+            handle_parent = root
+        with tracer.attached(handle_parent):
+            with tracer.span("child") as child:
+                pass
+        assert child.parent_id == root.span_id
+        with tracer.attached(None):
+            with tracer.span("orphan") as orphan:
+                pass
+        assert orphan.parent_id is None
+
+    def test_attached_unwinds_even_on_error(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("root") as root:
+            pass
+        with pytest.raises(RuntimeError):
+            with tracer.attached(root.handle()):
+                raise RuntimeError
+        assert tracer.active() is None
+
+    def test_worker_tracer_id_offset_keeps_ids_disjoint(self):
+        main = Tracer(clock=FakeClock())
+        worker = Tracer(clock=FakeClock(), id_offset=1 << 32)
+        with main.span("a") as a:
+            pass
+        with worker.span("b") as b:
+            pass
+        assert a.span_id == 1
+        assert b.span_id == (1 << 32) + 1
+        assert a.span_id != b.span_id
+
+
+class TestActiveStacks:
+    def test_empty_when_no_open_spans(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("done"):
+            pass
+        assert tracer.active_stacks() == {}
+
+    def test_snapshot_is_outermost_first(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                (stack,) = tracer.active_stacks().values()
+        assert [s.name for s in stack] == ["outer", "inner"]
+
+    def test_keys_include_thread_name_and_ident(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("open"):
+            (key,) = tracer.active_stacks().keys()
+        name, _, ident = key.rpartition("#")
+        assert name == threading.current_thread().name
+        assert int(ident) == threading.get_ident()
+
+    def test_covers_concurrent_threads(self):
+        tracer = Tracer()
+        inside = threading.Event()
+        release = threading.Event()
+
+        def worker():
+            with tracer.span("worker-open"):
+                inside.set()
+                release.wait(timeout=5.0)
+
+        thread = threading.Thread(target=worker, name="stack-worker")
+        thread.start()
+        try:
+            assert inside.wait(timeout=5.0)
+            with tracer.span("main-open"):
+                stacks = tracer.active_stacks()
+        finally:
+            release.set()
+            thread.join(timeout=5.0)
+        names = {
+            tuple(s.name for s in stack) for stack in stacks.values()
+        }
+        assert ("worker-open",) in names
+        assert ("main-open",) in names
+
+    def test_snapshot_unaffected_by_later_pops(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                (stack,) = tracer.active_stacks().values()
+        # The snapshot is a copy: closing the spans does not mutate it.
+        assert [s.name for s in stack] == ["outer", "inner"]
