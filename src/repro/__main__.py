@@ -147,7 +147,7 @@ def _command_config(args: argparse.Namespace) -> dict:
     """The fingerprintable configuration of a CLI invocation."""
     keep = (
         "command", "num", "seed", "workers", "no_engine", "x", "y",
-        "bundle_worst",
+        "bundle_worst", "backend", "batch_size",
     )
     return {
         key: getattr(args, key)
@@ -220,6 +220,8 @@ def _run_evaluate(args: argparse.Namespace) -> int:
             label=name,
             workers=args.workers,
             capture=capture,
+            backend=getattr(args, "backend", None),
+            batch_size=getattr(args, "batch_size", None),
         )
         stats = run.stats()
         print(f"{name:<18} {stats.summary()}")
@@ -413,6 +415,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             action="store_true",
             help="disable the steering-matrix cache and use the direct "
             "rebuild-per-fix Eq. 17 path",
+        )
+        command.add_argument(
+            "--backend",
+            choices=("serial", "thread", "process"),
+            default=None,
+            help="evaluation backend (default: thread when --workers > 1, "
+            "serial otherwise; process shares the steering cache over "
+            "shared memory)",
+        )
+        command.add_argument(
+            "--batch-size",
+            type=int,
+            default=None,
+            metavar="B",
+            help="stack B fixes into one batched Eq. 17 evaluation "
+            "(default: unbatched)",
         )
 
     demo = sub.add_parser("demo", help="localize one simulated tag")

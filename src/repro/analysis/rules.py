@@ -774,8 +774,18 @@ class MagicBleConstant(Rule):
 #: Functions reachable from the evaluate(workers=N) thread pool that must
 #: document their thread-safety contract, keyed by path suffix.
 WORKER_REACHABLE: Dict[str, Tuple[str, ...]] = {
-    "repro/core/engine.py": ("SteeringCache.entry_for",),
-    "repro/core/localizer.py": ("BlocLocalizer.locate",),
+    "repro/core/engine.py": (
+        "SteeringCache.entry_for",
+        "SteeringCache.seed",
+    ),
+    "repro/core/localizer.py": (
+        "BlocLocalizer.locate",
+        "BlocLocalizer.locate_batch",
+    ),
+    "repro/core/parallel.py": (
+        "SharedSteeringSegment.retain",
+        "SharedSteeringSegment.close",
+    ),
     "repro/obs/metrics.py": (
         "Counter.inc",
         "Counter.merge",
@@ -783,14 +793,19 @@ WORKER_REACHABLE: Dict[str, Tuple[str, ...]] = {
         "Gauge.merge",
         "Histogram.observe",
         "Histogram.merge",
+        "Histogram.merge_snapshot",
         "MetricsRegistry.merge",
+        "MetricsRegistry.merge_snapshot",
     ),
     "repro/obs/ledger.py": ("RunLedger.append",),
     "repro/obs/prof.py": (
         "SamplingProfiler.sample_once",
         "SamplingProfiler.stop",
     ),
-    "repro/obs/trace.py": ("Tracer.active_stacks",),
+    "repro/obs/trace.py": (
+        "Tracer.absorb",
+        "Tracer.active_stacks",
+    ),
     "repro/sim/runner.py": (
         "DiagnosticsCapture.collect",
         "_WorkerRegistries.current",
@@ -846,6 +861,48 @@ class MissingThreadSafetyTag(Rule):
 
 
 # ---------------------------------------------------------------------------
+# RPR011 -- SharedMemory construction outside the shm engine module
+# ---------------------------------------------------------------------------
+
+
+class DirectSharedMemory(Rule):
+    """RPR011: direct SharedMemory use outside repro/core/parallel.py."""
+
+    id = "RPR011"
+    title = "SharedMemory constructed outside the shm engine module"
+    rationale = (
+        "Segment ownership -- who unlinks, who merely unmaps, how the "
+        "3.11 resource tracker is kept from unlinking a live segment -- "
+        "is centralised in repro/core/parallel.py; a stray "
+        "SharedMemory(...) elsewhere re-opens every /dev/shm leak and "
+        "double-unlink bug that module exists to close.  Publish with "
+        "publish_steering_entry(), attach with attach_steering()."
+    )
+    scopes = None
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if ctx.rel.replace("\\", "/").endswith("repro/core/parallel.py"):
+            return False  # the one sanctioned constructor site
+        return super().applies_to(ctx)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            if name == "SharedMemory" or name.endswith(".SharedMemory"):
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"{name}(...) outside repro/core/parallel.py -- "
+                    "publish with publish_steering_entry(), attach with "
+                    "attach_steering()",
+                )
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -860,6 +917,7 @@ ALL_RULES = (
     OverbroadExcept,
     MagicBleConstant,
     MissingThreadSafetyTag,
+    DirectSharedMemory,
 )
 
 

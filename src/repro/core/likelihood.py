@@ -22,7 +22,7 @@ because the slave alphas carry extra |H| |h00| amplitude factors.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -147,3 +147,64 @@ def compute_likelihood_map(
         per_anchor.append(normalised)
         combined += anchor_weights[i] * normalised
     return LikelihoodMap(grid=grid, combined=combined, per_anchor=per_anchor)
+
+
+def compute_likelihood_maps_batched(
+    corrected_batch: Sequence[CorrectedChannels],
+    grid: Grid2D,
+    engine: SteeringCache,
+    anchor_weights: Optional[np.ndarray] = None,
+) -> List[LikelihoodMap]:
+    """Eq. 17 for a whole batch of fixes through one matmul per antenna.
+
+    All fixes must share the steering geometry (same grid, anchors,
+    master, baselines and band plan -- the caller guarantees this; see
+    :meth:`~repro.core.localizer.BlocLocalizer.locate_batch`): their
+    corrected channels are stacked into a ``(B, anchors, antennas,
+    bands)`` tensor and each anchor is evaluated with
+    :meth:`~repro.core.engine.SteeringEntry.anchor_likelihood_batch`,
+    so one BLAS call per antenna serves every fix in the batch.
+
+    Per-map normalisation and anchor combination are identical to
+    :func:`compute_likelihood_map`; results agree with the per-fix path
+    up to BLAS reduction reordering (< 1e-12 relative).
+
+    Args:
+        corrected_batch: corrected channels of B fixes, shared geometry.
+        grid: candidate-position grid (shared across the batch).
+        engine: the steering cache (required -- batching exists to reuse
+            its matrices; use :func:`compute_likelihood_map` per fix for
+            the direct path).
+        anchor_weights: optional per-anchor combination weights.
+
+    Returns:
+        One :class:`LikelihoodMap` per input fix, input order.
+    """
+    batch = list(corrected_batch)
+    if not batch:
+        return []
+    num_anchors = batch[0].num_anchors
+    if anchor_weights is None:
+        anchor_weights = np.ones(num_anchors)
+    else:
+        anchor_weights = np.asarray(anchor_weights, dtype=float)
+        if anchor_weights.size != num_anchors:
+            raise ConfigurationError(
+                "anchor_weights length must match the anchor count"
+            )
+    entry = engine.entry_for(batch[0], grid)
+    alpha = np.stack([c.alpha for c in batch])  # (B, I, J, K)
+    per_fix_anchor: List[List[np.ndarray]] = [[] for _ in batch]
+    combined = np.zeros((len(batch),) + grid.shape)
+    for i in range(num_anchors):
+        flat = entry.anchor_likelihood_batch(i, alpha[:, i])  # (B, size)
+        for b in range(len(batch)):
+            normalised = normalize_peak(grid.reshape(flat[b]))
+            per_fix_anchor[b].append(normalised)
+            combined[b] += anchor_weights[i] * normalised
+    return [
+        LikelihoodMap(
+            grid=grid, combined=combined[b], per_anchor=per_fix_anchor[b]
+        )
+        for b in range(len(batch))
+    ]

@@ -68,30 +68,49 @@ class PeakConfig:
             raise ConfigurationError("max_peaks must be >= 1")
 
 
-@shaped(values=("H", "W"))
-def find_peaks(
-    values: np.ndarray, grid: Grid2D, config: PeakConfig = PeakConfig()
+@shaped(stack=("B", "H", "W"))
+def local_maxima_batch(
+    stack: np.ndarray, config: PeakConfig = PeakConfig()
+) -> np.ndarray:
+    """Local-maximum masks for a stack of maps in one filter pass.
+
+    The maximum filter runs with a ``(1, n, n)`` window so maps never
+    bleed into each other; one scipy call serves the whole batch, which
+    is the batched localizer's peak-extraction fast path.
+
+    Returns:
+        Boolean mask stack, same shape as ``stack``.
+    """
+    arr = np.asarray(stack, dtype=float)
+    footprint = (1, config.neighborhood, config.neighborhood)
+    return (
+        ndimage.maximum_filter(arr, size=footprint, mode="nearest") == arr
+    )
+
+
+@shaped(values=("H", "W"), local_max=("H", "W"))
+def select_peaks(
+    values: np.ndarray,
+    local_max: np.ndarray,
+    grid: Grid2D,
+    config: PeakConfig = PeakConfig(),
 ) -> List[Peak]:
-    """Local maxima of a map, strongest first.
+    """Threshold, order and separate candidate maxima into peaks.
+
+    The second half of :func:`find_peaks`, split out so the batched
+    path can reuse a precomputed local-maximum mask (see
+    :func:`local_maxima_batch`).
 
     Raises:
-        LocalizationError: when the map is degenerate (all equal/zero),
-            which would make every localizer downstream meaningless.
+        LocalizationError: when the map is degenerate (all equal/zero)
+            or no candidate clears the threshold.
     """
     arr = np.asarray(values, dtype=float)
-    if arr.shape != grid.shape:
-        raise ConfigurationError(
-            f"map shape {arr.shape} does not match grid {grid.shape}"
-        )
     global_max = float(arr.max())
     if global_max <= 0 or np.allclose(arr, arr.flat[0]):
         raise LocalizationError("likelihood map is flat; nothing to locate")
-    local_max = (
-        ndimage.maximum_filter(arr, size=config.neighborhood, mode="nearest")
-        == arr
-    )
     threshold = config.min_relative_value * global_max
-    candidate_mask = local_max & (arr >= threshold)
+    candidate_mask = np.asarray(local_max, dtype=bool) & (arr >= threshold)
     rows, cols = np.nonzero(candidate_mask)
     order = np.argsort(arr[rows, cols])[::-1]
     selected: List[Peak] = []
@@ -125,6 +144,56 @@ def find_peaks(
     if not selected:
         raise LocalizationError("no peaks cleared the detection threshold")
     return selected
+
+
+@shaped(values=("H", "W"))
+def find_peaks(
+    values: np.ndarray, grid: Grid2D, config: PeakConfig = PeakConfig()
+) -> List[Peak]:
+    """Local maxima of a map, strongest first.
+
+    Raises:
+        LocalizationError: when the map is degenerate (all equal/zero),
+            which would make every localizer downstream meaningless.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.shape != grid.shape:
+        raise ConfigurationError(
+            f"map shape {arr.shape} does not match grid {grid.shape}"
+        )
+    local_max = (
+        ndimage.maximum_filter(arr, size=config.neighborhood, mode="nearest")
+        == arr
+    )
+    return select_peaks(arr, local_max, grid, config)
+
+
+@shaped(stack=("B", "H", "W"))
+def find_peaks_batch(
+    stack: np.ndarray, grid: Grid2D, config: PeakConfig = PeakConfig()
+) -> List[List[Peak]]:
+    """Per-map peaks for a stack of maps, one filter pass for the batch.
+
+    Equivalent to ``[find_peaks(m, grid, config) for m in stack]`` but
+    with the local-maximum filter batched (see
+    :func:`local_maxima_batch`).  A degenerate map raises, as in
+    :func:`find_peaks` -- callers needing per-map error containment
+    (the batched localizer) use the mask + :func:`select_peaks` pair
+    directly.
+
+    Raises:
+        LocalizationError: when any map in the stack is degenerate.
+    """
+    arr = np.asarray(stack, dtype=float)
+    if arr.shape[1:] != grid.shape:
+        raise ConfigurationError(
+            f"map shape {arr.shape[1:]} does not match grid {grid.shape}"
+        )
+    masks = local_maxima_batch(arr, config)
+    return [
+        select_peaks(arr[b], masks[b], grid, config)
+        for b in range(arr.shape[0])
+    ]
 
 
 @shaped(values=("H", "W"))

@@ -326,6 +326,37 @@ _HIST_FIELDS = ("count", "mean", "p50", "p95")
 _SPAN_FIELDS = ("count", "p50_s", "p95_s", "p99_s")
 
 
+#: Result-key suffixes that are recorded as explicit ``null`` when the
+#: measurement is not meaningful (rather than being dropped), mapped to
+#: the label the report renders for them.
+_NULL_RESULT_LABELS = {
+    "speedup_parallel_vs_serial": "n/a (1 cpu)",
+    "speedup_process_vs_serial": "n/a (1 cpu)",
+    "speedup_batched_vs_serial": "n/a (1 cpu)",
+}
+
+
+def null_result_keys(record: dict) -> Dict[str, str]:
+    """Result keys explicitly recorded as ``null``, with render labels.
+
+    A bench run on a single-core host records e.g.
+    ``speedup_parallel_vs_serial: null`` instead of a misleading ~1.0x
+    number; the report shows these as ``n/a (1 cpu)`` instead of
+    silently dropping the row.
+    """
+    out: Dict[str, str] = {}
+    for key, value in (record.get("results") or {}).items():
+        if value is not None:
+            continue
+        for suffix, label in _NULL_RESULT_LABELS.items():
+            if key.endswith(suffix):
+                out[f"result:{key}"] = label
+                break
+        else:
+            out[f"result:{key}"] = "n/a"
+    return out
+
+
 def scalar_view(record: dict) -> Dict[str, float]:
     """Flatten a ledger record to comparable scalar series.
 
@@ -447,7 +478,9 @@ def render_diff(a: dict, b: dict, min_pct: float = 0.0) -> str:
     """
     from repro.obs.export import format_table
 
+    nulls_a, nulls_b = null_result_keys(a), null_result_keys(b)
     rows = []
+    seen = set()
     for row in diff_records(a, b):
         pct = row["pct"]
         if (
@@ -456,15 +489,32 @@ def render_diff(a: dict, b: dict, min_pct: float = 0.0) -> str:
             and abs(pct) < min_pct
         ):
             continue
+        key = row["key"]
+        seen.add(key)
         rows.append(
             [
-                row["key"],
-                _fmt(row["a"]),
-                _fmt(row["b"]),
+                key,
+                nulls_a.get(key) or _fmt(row["a"]),
+                nulls_b.get(key) or _fmt(row["b"]),
                 _fmt(row["delta"]),
                 f"{pct * 100:+.1f}%" if pct is not None else "-",
             ]
         )
+    for key in sorted(set(nulls_a) | set(nulls_b)):
+        # Null on both sides: diff_records never saw the key, but the
+        # report should still say *why* there is no number.
+        if key in seen:
+            continue
+        rows.append(
+            [
+                key,
+                nulls_a.get(key, "-"),
+                nulls_b.get(key, "-"),
+                "-",
+                "-",
+            ]
+        )
+    rows.sort(key=lambda r: r[0])
     header = [
         f"A: {_describe(a)}",
         f"B: {_describe(b)}",

@@ -253,6 +253,21 @@ class Tracer:
             elif parent in stack:
                 stack.remove(parent)
 
+    def absorb(self, spans: List[Span]) -> None:
+        """Adopt externally finished spans (e.g. from a worker process).
+
+        The process-pool backend runs each worker with its own tracer at
+        a disjoint ``id_offset``; the finished spans come back pickled
+        and are folded into this tracer's collection here, so one export
+        covers the whole cross-process sweep.  The caller guarantees id
+        disjointness (via the offset contract) -- absorb does not
+        renumber.
+
+        Thread-safety: appends under the tracer lock.
+        """
+        with self._lock:
+            self._finished.extend(spans)
+
     def finished(self) -> List[Span]:
         """Snapshot of all completed spans, completion order."""
         with self._lock:

@@ -21,6 +21,7 @@ from repro.sim.metrics import (
     spatial_rmse_map,
 )
 from repro.sim.runner import (
+    BACKENDS,
     DiagnosticsCapture,
     EvaluationRecord,
     EvaluationRun,
@@ -35,6 +36,7 @@ from repro.sim.scenario import (
 from repro.sim.testbed import Testbed, open_room_testbed, vicon_testbed
 
 __all__ = [
+    "BACKENDS",
     "ChannelMeasurementModel",
     "DiagnosticsCapture",
     "ErrorStats",

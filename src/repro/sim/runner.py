@@ -12,6 +12,20 @@ with observability enabled each worker thread accumulates its per-fix
 metrics in a private registry that is merged into the session observer
 once the sweep finishes -- so parallel runs report the same totals as
 serial ones without contending on one registry per fix.
+
+Two further levers trade layout for speed without changing results (see
+DESIGN.md's backend matrix):
+
+* ``backend="process"`` fans fixes out over worker *processes* (module
+  :mod:`repro.sim.procpool`), sharing one steering cache through POSIX
+  shared memory -- the escape hatch from the GIL for the pure-Python
+  part of a sweep;
+* ``batch_size=B`` stacks B fixes into one batched Eq. 17 evaluation
+  (:meth:`~repro.core.localizer.BlocLocalizer.locate_batch`), turning
+  per-fix matvecs into one matmul per antenna.
+
+Both keep dataset order, per-fix failure containment and merged
+observability, and combine with each other.
 """
 
 from __future__ import annotations
@@ -82,10 +96,19 @@ class EvaluationRun:
     Attributes:
         label: configuration name for reports.
         records: per-fix outcomes.
+        backend: execution backend the sweep ran on (``"serial"``,
+            ``"thread"`` or ``"process"``).
+        effective_workers: worker count actually used after clamping to
+            the entry count (what capacity planning should read, not the
+            requested ``workers``).
+        batch_size: Eq. 17 batch size, None for the unbatched path.
     """
 
     label: str
     records: List[EvaluationRecord] = field(default_factory=list)
+    backend: str = "serial"
+    effective_workers: int = 1
+    batch_size: Optional[int] = None
 
     @property
     def num_failed(self) -> int:
@@ -242,14 +265,261 @@ def _finalize_capture(
             observer.metrics.counter("diag.bundles_written").inc()
 
 
-def _resolve_workers(workers: Optional[int]) -> int:
-    """Validate and default the worker count (None means serial)."""
+#: Recognised evaluation backends (see the module docstring).
+BACKENDS = ("serial", "thread", "process")
+
+
+def _resolve_workers(
+    workers: Optional[int], num_entries: Optional[int] = None
+) -> int:
+    """Validate, default and clamp the worker count (None means serial).
+
+    When the entry count is known the request is clamped to it: workers
+    beyond one-per-fix only sit idle (or, for the process backend, pay
+    a fork for nothing).  The clamped value is what sweeps record as
+    ``EvaluationRun.effective_workers``.
+    """
     if workers is None:
         return 1
     count = int(workers)
     if count < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    if num_entries is not None:
+        count = min(count, max(1, int(num_entries)))
     return count
+
+
+def _resolve_backend(
+    backend: Optional[str],
+    workers: int,
+    batch_size: Optional[int],
+    capture: Optional["DiagnosticsCapture"] = None,
+) -> str:
+    """Validate and default the backend choice.
+
+    ``None`` picks ``"thread"`` when ``workers > 1`` and ``"serial"``
+    otherwise, so existing call sites keep their behaviour.  An explicit
+    ``"serial"`` with ``workers > 1`` is a contradiction and raises.
+    Diagnostics capture pins the sweep to the in-process, unbatched
+    path: process workers would have to ship every fix's observations
+    and diagnostics back over IPC, and per-fix diagnostics need per-fix
+    ``locate`` calls.
+    """
+    if backend is None:
+        backend = "thread" if workers > 1 else "serial"
+    if backend not in BACKENDS:
+        raise ConfigurationError(
+            f"backend must be one of {BACKENDS}, got {backend!r}"
+        )
+    if backend == "serial" and workers > 1:
+        raise ConfigurationError(
+            f"backend='serial' cannot run with workers={workers}; "
+            f"use backend='thread' or 'process'"
+        )
+    if capture is not None and backend == "process":
+        raise ConfigurationError(
+            "diagnostics capture requires an in-process backend "
+            "(serial or thread)"
+        )
+    if capture is not None and batch_size is not None:
+        raise ConfigurationError(
+            "diagnostics capture requires the unbatched path "
+            "(batch_size=None)"
+        )
+    return backend
+
+
+def _execute_fix(
+    localizer: Localizer,
+    observations: ChannelObservations,
+    fix_index: int,
+    label: str,
+    transform: Optional[
+        Callable[[ChannelObservations], ChannelObservations]
+    ] = None,
+    with_diagnostics: bool = False,
+    capture: Optional["DiagnosticsCapture"] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> EvaluationRecord:
+    """One fix of an :func:`evaluate` sweep.
+
+    Module-level rather than a closure so the process backend
+    (:mod:`repro.sim.procpool`) can run the exact same body in pool
+    workers; ``metrics`` is the calling worker's private registry (None
+    when observability is off, in which case the span is a no-op too).
+    """
+    observer = get_observer()
+    if transform is not None:
+        observations = transform(observations)
+    truth = observations.ground_truth
+    failure_reason = None
+    diagnostics = None
+    with observer.span("fix", index=fix_index, label=label) as span:
+        try:
+            if with_diagnostics:
+                result = localizer.locate(
+                    observations, keep_map=False, diagnostics=True
+                )
+                diagnostics = result.diagnostics
+            else:
+                result = localizer.locate(observations, keep_map=False)
+            estimate = result.position
+            error = (estimate - truth).norm()
+        except LocalizationError as exc:
+            estimate = None
+            error = float("inf")
+            failure_reason = str(exc)
+            # A failing locate() attaches the stages it completed.
+            diagnostics = getattr(exc, "diagnostics", None)
+            if metrics is not None:
+                metrics.counter(
+                    f"eval.failures.{type(exc).__name__}"
+                ).inc()
+    if capture is not None:
+        capture.collect(fix_index, observations, diagnostics)
+    if metrics is not None:
+        metrics.counter("eval.fixes_total").inc()
+        metrics.histogram(
+            "eval.fix_latency_s", LATENCY_BUCKETS_S
+        ).observe(span.duration_s)
+    return EvaluationRecord(
+        truth=truth,
+        estimate=estimate,
+        error_m=error,
+        failure_reason=failure_reason,
+    )
+
+
+def _execute_batch(
+    localizer: Localizer,
+    observations_batch: Sequence[ChannelObservations],
+    start_index: int,
+    label: str,
+    transform: Optional[
+        Callable[[ChannelObservations], ChannelObservations]
+    ] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> List[EvaluationRecord]:
+    """One batch of fixes through the batched Eq. 17 path.
+
+    Localizers without a ``locate_batch`` (the AoA / RSSI baselines,
+    protocol stubs) fall back to per-fix :func:`_execute_fix` -- batching
+    is a BLoc fast path, not a protocol requirement.  Per-fix failures
+    come back from ``locate_batch`` as contained exceptions and turn
+    into failure records exactly as in the unbatched path.  The per-fix
+    latency histogram sees the batch wall time amortized over its fixes,
+    so latency totals stay comparable across backends.
+    """
+    observer = get_observer()
+    locate_batch = getattr(localizer, "locate_batch", None)
+    if locate_batch is None:
+        return [
+            _execute_fix(
+                localizer,
+                observations,
+                start_index + offset,
+                label,
+                transform=transform,
+                metrics=metrics,
+            )
+            for offset, observations in enumerate(observations_batch)
+        ]
+    batch = (
+        [transform(obs) for obs in observations_batch]
+        if transform is not None
+        else list(observations_batch)
+    )
+    with observer.span(
+        "fix_batch", start=start_index, size=len(batch), label=label
+    ) as span:
+        outcomes = locate_batch(batch, keep_map=False)
+    records = []
+    for observations, outcome in zip(batch, outcomes):
+        truth = observations.ground_truth
+        if isinstance(outcome, LocalizationError):
+            estimate = None
+            error = float("inf")
+            failure_reason = str(outcome)
+            if metrics is not None:
+                metrics.counter(
+                    f"eval.failures.{type(outcome).__name__}"
+                ).inc()
+        else:
+            estimate = outcome.position
+            error = (estimate - truth).norm()
+            failure_reason = None
+        if metrics is not None:
+            metrics.counter("eval.fixes_total").inc()
+            metrics.histogram(
+                "eval.fix_latency_s", LATENCY_BUCKETS_S
+            ).observe(span.duration_s / len(batch))
+        records.append(
+            EvaluationRecord(
+                truth=truth,
+                estimate=estimate,
+                error_m=error,
+                failure_reason=failure_reason,
+            )
+        )
+    return records
+
+
+def _execute_subset_fix(
+    localizer: Localizer,
+    observations: ChannelObservations,
+    fix_index: int,
+    label: str,
+    subset_size: int,
+    metrics: Optional[MetricsRegistry] = None,
+) -> EvaluationRecord:
+    """One entry of an :func:`evaluate_anchor_subsets` sweep.
+
+    Module-level for the same reason as :func:`_execute_fix`: the
+    process backend runs it in pool workers.
+    """
+    from itertools import combinations
+
+    observer = get_observer()
+    truth = observations.ground_truth
+    master = observations.master_index
+    others = [
+        i for i in range(observations.num_anchors) if i != master
+    ]
+    outcomes = []  # (estimate or None, error) per subset
+    failure_reason = None
+    with observer.span(
+        "fix", index=fix_index, label=label, subset_size=subset_size
+    ):
+        for chosen in combinations(others, subset_size - 1):
+            subset = observations.select_anchors([master, *chosen])
+            try:
+                result = localizer.locate(subset, keep_map=False)
+                outcomes.append(
+                    (result.position, (result.position - truth).norm())
+                )
+            except LocalizationError as exc:
+                outcomes.append((None, float("inf")))
+                failure_reason = str(exc)
+                if metrics is not None:
+                    metrics.counter("eval.subset_failures").inc()
+                    metrics.counter(
+                        f"eval.failures.{type(exc).__name__}"
+                    ).inc()
+    finite = [e for _, e in outcomes if np.isfinite(e)]
+    mean_error = float(np.mean(finite)) if finite else float("inf")
+    # The record's error is an aggregate over subsets, so a single
+    # "the" estimate usually does not exist; report one only when a
+    # subset's own error equals the aggregate (e.g. exactly one
+    # subset succeeded), instead of leaking whichever subset ran last.
+    estimate = next(
+        (est for est, err in outcomes if err == mean_error), None
+    )
+    return EvaluationRecord(
+        truth=truth,
+        estimate=estimate,
+        error_m=mean_error,
+        failure_reason=None if finite else failure_reason,
+    )
 
 
 class _WorkerRegistries:
@@ -337,6 +607,8 @@ def evaluate(
     limit: Optional[int] = None,
     workers: Optional[int] = None,
     capture: Optional[DiagnosticsCapture] = None,
+    backend: Optional[str] = None,
+    batch_size: Optional[int] = None,
 ) -> EvaluationRun:
     """Run a localizer over every dataset entry.
 
@@ -347,83 +619,124 @@ def evaluate(
         transform: optional per-entry observation transform (antenna /
             anchor / bandwidth subsetting).
         limit: evaluate only the first ``limit`` entries (0 means none).
-        workers: thread-pool size for parallel evaluation (None or 1
-            runs serially).  Records keep dataset order and per-worker
-            metrics are merged into the active observer (see module
-            docstring); the localizer must tolerate concurrent
-            ``locate`` calls, which BLoc and the baselines do.
+        workers: worker count for parallel evaluation (None or 1 runs
+            serially), clamped to the entry count.  Records keep dataset
+            order and per-worker metrics are merged into the active
+            observer (see module docstring); the localizer must tolerate
+            concurrent ``locate`` calls, which BLoc and the baselines do.
         capture: opt-in per-fix diagnostics collection; see
             :class:`DiagnosticsCapture`.  Fix bundles for failures and
             the worst-N fixes are written after the sweep, and the
             capture's health monitor (when set) sees every fix's
-            diagnostics in dataset order.
+            diagnostics in dataset order.  Requires the in-process
+            unbatched path (``backend`` serial/thread, no
+            ``batch_size``).
+        backend: ``"serial"``, ``"thread"`` or ``"process"`` (None picks
+            thread when ``workers > 1``, serial otherwise).  The process
+            backend runs fixes in worker processes sharing one
+            steering cache through shared memory; see
+            :mod:`repro.sim.procpool`.
+        batch_size: stack B fixes into one batched Eq. 17 evaluation
+            per task (localizers without ``locate_batch`` silently fall
+            back to per-fix calls).  Results match the unbatched path up
+            to BLAS reduction reordering.
 
     A fix that raises :class:`~repro.errors.LocalizationError` is recorded
     as failed rather than aborting the run -- a localizer that cannot
-    produce a fix is a (bad) data point, not a crash.
+    produce a fix is a (bad) data point, not a crash.  Under the process
+    backend a fix lost to a *worker crash* is likewise a failure record,
+    with the worker death named in ``failure_reason``.
     """
-    workers = _resolve_workers(workers)
     observer = get_observer()
     entries = (
         dataset.observations[:limit]
         if limit is not None
         else dataset.observations
     )
+    workers = _resolve_workers(workers, len(entries))
+    if batch_size is not None and int(batch_size) < 1:
+        raise ConfigurationError(
+            f"batch_size must be >= 1, got {batch_size}"
+        )
+    backend = _resolve_backend(backend, workers, batch_size, capture)
     with_diagnostics = capture is not None and _accepts_diagnostics(
         localizer
     )
 
-    def run_fix(fix_index, observations, metrics):
-        if transform is not None:
-            observations = transform(observations)
-        truth = observations.ground_truth
-        failure_reason = None
-        diagnostics = None
-        with observer.span("fix", index=fix_index, label=label) as span:
-            try:
-                if with_diagnostics:
-                    result = localizer.locate(
-                        observations, keep_map=False, diagnostics=True
-                    )
-                    diagnostics = result.diagnostics
-                else:
-                    result = localizer.locate(observations, keep_map=False)
-                estimate = result.position
-                error = (estimate - truth).norm()
-            except LocalizationError as exc:
-                estimate = None
-                error = float("inf")
-                failure_reason = str(exc)
-                # A failing locate() attaches the stages it completed.
-                diagnostics = getattr(exc, "diagnostics", None)
-                if metrics is not None:
-                    metrics.counter(
-                        f"eval.failures.{type(exc).__name__}"
-                    ).inc()
-        if capture is not None:
-            capture.collect(fix_index, observations, diagnostics)
-        if metrics is not None:
-            metrics.counter("eval.fixes_total").inc()
-            metrics.histogram(
-                "eval.fix_latency_s", LATENCY_BUCKETS_S
-            ).observe(span.duration_s)
-        return EvaluationRecord(
-            truth=truth,
-            estimate=estimate,
-            error_m=error,
-            failure_reason=failure_reason,
+    def run_fix(
+        fix_index: int,
+        observations: ChannelObservations,
+        metrics: Optional[MetricsRegistry],
+    ) -> EvaluationRecord:
+        return _execute_fix(
+            localizer,
+            observations,
+            fix_index,
+            label,
+            transform=transform,
+            with_diagnostics=with_diagnostics,
+            capture=capture,
+            metrics=metrics,
+        )
+
+    def run_batch(
+        task_index: int,
+        task: Tuple[int, List[ChannelObservations]],
+        metrics: Optional[MetricsRegistry],
+    ) -> List[EvaluationRecord]:
+        start, chunk = task
+        return _execute_batch(
+            localizer,
+            chunk,
+            start,
+            label,
+            transform=transform,
+            metrics=metrics,
         )
 
     # The evaluate root span is what per-fix spans merge back under when
-    # workers fan out (see _sweep's handle propagation); it also gives
-    # the sampling profiler a stable outermost frame for sweep time.
+    # workers fan out (thread pools via _sweep's handle propagation,
+    # process pools via procpool's span absorption); it also gives the
+    # sampling profiler a stable outermost frame for sweep time.
     with observer.span(
-        "evaluate", label=label, workers=workers, fixes=len(entries)
+        "evaluate",
+        label=label,
+        workers=workers,
+        fixes=len(entries),
+        backend=backend,
+        batch_size=batch_size or 0,
     ):
-        records = _sweep(entries, run_fix, workers)
+        if backend == "process":
+            from repro.sim.procpool import process_sweep
+
+            records = process_sweep(
+                localizer,
+                entries,
+                label=label,
+                transform=transform,
+                workers=workers,
+                batch_size=batch_size,
+            )
+        elif batch_size is not None:
+            tasks = [
+                (start, entries[start:start + batch_size])
+                for start in range(0, len(entries), batch_size)
+            ]
+            nested = _sweep(tasks, run_batch, workers)
+            records = [
+                record for task_records in nested for record in task_records
+            ]
+        else:
+            records = _sweep(entries, run_fix, workers)
     if capture is not None:
         _finalize_capture(capture, localizer, label, records)
-    return EvaluationRun(label=label, records=records)
+    return EvaluationRun(
+        label=label,
+        records=records,
+        backend=backend,
+        effective_workers=workers,
+        batch_size=batch_size,
+    )
 
 
 def evaluate_anchor_subsets(
@@ -433,6 +746,7 @@ def evaluate_anchor_subsets(
     label: str = "",
     limit: Optional[int] = None,
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> EvaluationRun:
     """Average over all anchor subsets of a given size (Section 8.3).
 
@@ -443,58 +757,27 @@ def evaluate_anchor_subsets(
 
     ``workers`` parallelizes across dataset entries (each entry's subset
     loop stays serial inside its worker), with the same ordering and
-    metric-merging guarantees as :func:`evaluate`.
+    metric-merging guarantees as :func:`evaluate`; ``backend`` picks the
+    thread or process pool as there.  Subset geometries differ per
+    sub-fix, so the process backend skips the shared-memory steering
+    publication and lets each worker build its own cache.
     """
-    from itertools import combinations
-
-    workers = _resolve_workers(workers)
     observer = get_observer()
     entries = (
         dataset.observations[:limit]
         if limit is not None
         else dataset.observations
     )
+    workers = _resolve_workers(workers, len(entries))
+    backend = _resolve_backend(backend, workers, None)
 
-    def run_fix(fix_index, observations, metrics):
-        truth = observations.ground_truth
-        master = observations.master_index
-        others = [
-            i for i in range(observations.num_anchors) if i != master
-        ]
-        outcomes = []  # (estimate or None, error) per subset
-        failure_reason = None
-        with observer.span(
-            "fix", index=fix_index, label=label, subset_size=subset_size
-        ):
-            for chosen in combinations(others, subset_size - 1):
-                subset = observations.select_anchors([master, *chosen])
-                try:
-                    result = localizer.locate(subset, keep_map=False)
-                    outcomes.append(
-                        (result.position, (result.position - truth).norm())
-                    )
-                except LocalizationError as exc:
-                    outcomes.append((None, float("inf")))
-                    failure_reason = str(exc)
-                    if metrics is not None:
-                        metrics.counter("eval.subset_failures").inc()
-                        metrics.counter(
-                            f"eval.failures.{type(exc).__name__}"
-                        ).inc()
-        finite = [e for _, e in outcomes if np.isfinite(e)]
-        mean_error = float(np.mean(finite)) if finite else float("inf")
-        # The record's error is an aggregate over subsets, so a single
-        # "the" estimate usually does not exist; report one only when a
-        # subset's own error equals the aggregate (e.g. exactly one
-        # subset succeeded), instead of leaking whichever subset ran last.
-        estimate = next(
-            (est for est, err in outcomes if err == mean_error), None
-        )
-        return EvaluationRecord(
-            truth=truth,
-            estimate=estimate,
-            error_m=mean_error,
-            failure_reason=None if finite else failure_reason,
+    def run_fix(
+        fix_index: int,
+        observations: ChannelObservations,
+        metrics: Optional[MetricsRegistry],
+    ) -> EvaluationRecord:
+        return _execute_subset_fix(
+            localizer, observations, fix_index, label, subset_size, metrics
         )
 
     with observer.span(
@@ -503,6 +786,26 @@ def evaluate_anchor_subsets(
         workers=workers,
         fixes=len(entries),
         subset_size=subset_size,
+        backend=backend,
     ):
-        records = _sweep(entries, run_fix, workers)
-    return EvaluationRun(label=label, records=records)
+        if backend == "process":
+            from repro.sim.procpool import process_sweep
+
+            records = process_sweep(
+                localizer,
+                entries,
+                label=label,
+                transform=None,
+                workers=workers,
+                batch_size=None,
+                mode="subsets",
+                subset_size=subset_size,
+            )
+        else:
+            records = _sweep(entries, run_fix, workers)
+    return EvaluationRun(
+        label=label,
+        records=records,
+        backend=backend,
+        effective_workers=workers,
+    )

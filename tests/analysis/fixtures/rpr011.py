@@ -1,0 +1,19 @@
+"""RPR011 fixture: SharedMemory constructed outside the shm engine."""
+
+from multiprocessing import shared_memory
+
+
+def leaky_publish():
+    return shared_memory.SharedMemory(create=True, size=16)
+
+
+def bare_attach(name):
+    return SharedMemory(name=name)  # noqa: F821 -- fixture
+
+
+def waived(name):
+    return shared_memory.SharedMemory(name=name)  # repro: noqa[RPR011] -- fixture
+
+
+def fine(name):
+    return {"shared_memory": name}  # dict access, not a constructor

@@ -1,0 +1,152 @@
+"""Tests for repro.core.parallel: shared-memory steering publication."""
+
+from __future__ import annotations
+
+import gc
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import build_steering_entry, correct_phase_offsets
+from repro.core.parallel import (
+    active_segments,
+    attach_steering,
+    publish_steering_entry,
+)
+from repro.errors import ConfigurationError
+from repro.sim import ChannelMeasurementModel
+from repro.sim.testbed import open_room_testbed
+from repro.utils.geometry2d import Point
+from repro.utils.gridmap import Grid2D
+
+
+@pytest.fixture(scope="module")
+def corrected():
+    model = ChannelMeasurementModel(testbed=open_room_testbed(), seed=7)
+    return correct_phase_offsets(model.measure(Point(0.4, -0.3)))
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return Grid2D(-2.0, 2.0, -1.5, 1.5, 0.25)
+
+
+@pytest.fixture(scope="module")
+def entry(corrected, grid):
+    return build_steering_entry(
+        grid,
+        corrected.anchors,
+        corrected.master_index,
+        corrected.anchor_baselines_m,
+        corrected.frequencies_hz,
+    )
+
+
+def _shm_names():
+    try:
+        return {n for n in os.listdir("/dev/shm") if n.startswith("psm_")}
+    except OSError:
+        return set()
+
+
+class TestPublishAttach:
+    def test_round_trip_is_bit_exact(self, entry):
+        owner = publish_steering_entry(entry, "key")
+        try:
+            attached = attach_steering(owner.handle)
+            clone = attached.entry
+            assert np.array_equal(
+                clone.frequencies_hz, entry.frequencies_hz
+            )
+            assert np.array_equal(
+                clone.reference_distances_m, entry.reference_distances_m
+            )
+            assert set(clone.matrices) == set(entry.matrices)
+            for key, matrix in entry.matrices.items():
+                assert np.array_equal(clone.matrices[key], matrix)
+            assert clone.grid.shape == entry.grid.shape
+            assert clone.used_lattice == entry.used_lattice
+            attached.close()
+        finally:
+            owner.close()
+
+    def test_attached_views_are_read_only(self, entry):
+        owner = publish_steering_entry(entry, "key")
+        try:
+            attached = attach_steering(owner.handle)
+            key = next(iter(attached.entry.matrices))
+            with pytest.raises(ValueError):
+                attached.entry.matrices[key][0, 0] = 0
+            with pytest.raises(ValueError):
+                attached.entry.reference_distances_m[0] = 0.0
+            attached.close()
+        finally:
+            owner.close()
+
+    def test_handle_carries_shape_facts(self, entry, grid):
+        owner = publish_steering_entry(entry, "key")
+        try:
+            handle = owner.handle
+            assert handle.cache_key == "key"
+            assert handle.num_points == grid.size
+            assert handle.num_bands == entry.frequencies_hz.size
+            assert handle.nbytes > 0
+        finally:
+            owner.close()
+
+
+class TestLifecycle:
+    def test_refcounted_unlink(self, entry):
+        owner = publish_steering_entry(entry, "key")
+        name = owner.handle.name
+        assert name in active_segments()
+        owner.retain()
+        owner.close()  # one reference left: still attachable
+        attach_steering(owner.handle).close()
+        owner.close()  # last reference: unlinks
+        assert name not in active_segments()
+        with pytest.raises(ConfigurationError):
+            attach_steering(owner.handle)
+
+    def test_close_is_idempotent(self, entry):
+        owner = publish_steering_entry(entry, "key")
+        owner.close()
+        owner.close()
+        with pytest.raises(ConfigurationError):
+            owner.retain()
+
+    def test_attachment_survives_owner_unlink(self, entry):
+        # POSIX shm semantics: unlink removes the name, the pages live
+        # until the last mapping drops.  An attached reader must keep
+        # working after the owner is gone.
+        owner = publish_steering_entry(entry, "key")
+        attached = attach_steering(owner.handle)
+        owner.close()
+        key = next(iter(entry.matrices))
+        assert np.array_equal(
+            attached.entry.matrices[key], entry.matrices[key]
+        )
+        attached.close()
+
+    def test_entry_keeps_mapping_alive_without_attachment_ref(self, entry):
+        # The regression behind the worker segfault: numpy views over
+        # shm.buf do not pin the mapping, so the entry itself must.
+        owner = publish_steering_entry(entry, "key")
+        try:
+            clone = attach_steering(owner.handle).entry
+            gc.collect()  # drops the AttachedSteering wrapper
+            key = next(iter(entry.matrices))
+            assert np.array_equal(clone.matrices[key], entry.matrices[key])
+            assert float(clone.reference_distances_m[0]) >= 0.0
+        finally:
+            owner.close()
+
+    def test_no_segments_leak(self, entry):
+        before = _shm_names()
+        owner = publish_steering_entry(entry, "key")
+        attached = attach_steering(owner.handle)
+        attached.close()
+        owner.close()
+        assert active_segments() == ()
+        assert _shm_names() <= before

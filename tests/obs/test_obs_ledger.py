@@ -15,6 +15,7 @@ from repro.obs.ledger import (
     build_run_record,
     diff_records,
     fingerprint_of,
+    null_result_keys,
     render_diff,
     render_report,
     render_runs,
@@ -267,3 +268,62 @@ class TestDiffAndRender:
     def test_report_needs_two_records(self):
         text = render_report([record_with()])
         assert "need >= 2 ledger records" in text
+
+
+class TestNullSpeedupRendering:
+    """A 1-cpu bench records speedups as null; the report says why."""
+
+    def test_null_result_keys_labelled(self):
+        record = record_with(
+            results={
+                "evaluate.speedup_parallel_vs_serial": None,
+                "batched.speedup_batched_vs_serial": None,
+                "other_thing": None,
+                "evaluate.serial_fixes_per_s": 40.0,
+            }
+        )
+        keys = null_result_keys(record)
+        assert (
+            keys["result:evaluate.speedup_parallel_vs_serial"]
+            == "n/a (1 cpu)"
+        )
+        assert (
+            keys["result:batched.speedup_batched_vs_serial"]
+            == "n/a (1 cpu)"
+        )
+        assert keys["result:other_thing"] == "n/a"
+        assert "result:evaluate.serial_fixes_per_s" not in keys
+
+    def test_report_renders_na_for_null_speedup(self):
+        a = record_with(
+            results={
+                "evaluate.speedup_parallel_vs_serial": None,
+                "x": 1.0,
+            }
+        )
+        b = dict(
+            record_with(
+                results={
+                    "evaluate.speedup_parallel_vs_serial": None,
+                    "x": 2.0,
+                }
+            ),
+            run_id="r2",
+        )
+        report = render_report([a, b])
+        assert "result:evaluate.speedup_parallel_vs_serial" in report
+        assert "n/a (1 cpu)" in report
+
+    def test_null_on_one_side_renders_na_against_number(self):
+        a = record_with(
+            results={"evaluate.speedup_parallel_vs_serial": 3.4}
+        )
+        b = dict(
+            record_with(
+                results={"evaluate.speedup_parallel_vs_serial": None}
+            ),
+            run_id="r2",
+        )
+        text = render_diff(a, b)
+        assert "3.4" in text
+        assert "n/a (1 cpu)" in text
