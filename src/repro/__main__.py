@@ -11,6 +11,8 @@ Usage::
     python -m repro obs runs            # list the run ledger
     python -m repro obs diff -2 -1     # metric-by-metric run diff
     python -m repro obs slo             # evaluate the SLO gate
+    python -m repro serve               # warm-pool localization service
+    python -m repro loadtest --self-host   # drive it and record latency
 """
 
 from __future__ import annotations
@@ -23,6 +25,7 @@ from typing import TYPE_CHECKING, Callable, Optional, Sequence, Union
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
     from repro.obs import RunLedger
+    from repro.service import LocalizationService, LocalizerPool
 
 from repro import (
     AoaLocalizer,
@@ -147,7 +150,8 @@ def _command_config(args: argparse.Namespace) -> dict:
     """The fingerprintable configuration of a CLI invocation."""
     keep = (
         "command", "num", "seed", "workers", "no_engine", "x", "y",
-        "bundle_worst", "backend", "batch_size",
+        "bundle_worst", "backend", "batch_size", "scenario", "clients",
+        "per_client", "resolution", "port",
     )
     return {
         key: getattr(args, key)
@@ -317,22 +321,174 @@ def _obs_slo(args: argparse.Namespace, ledger: "RunLedger") -> int:
     )
 
     spec = load_slo_spec(args.spec)
+    # --bench is repeatable so one gate invocation can evaluate rules
+    # against several benchmark payloads (BENCH_localize.json and
+    # BENCH_service.json carry disjoint top-level sections, so a shallow
+    # merge is lossless).
+    bench_args = (
+        args.bench if args.bench is not None else ["BENCH_localize.json"]
+    )
     bench = None
-    bench_path = Path(args.bench) if args.bench else None
-    if bench_path is not None:
+    for bench_arg in bench_args:
+        if not bench_arg:
+            continue
+        bench_path = Path(bench_arg)
         if not bench_path.exists():
             print(
                 f"error: bench payload not found: {bench_path}",
                 file=sys.stderr,
             )
             return 2
-        bench = json.loads(bench_path.read_text(encoding="utf-8"))
+        payload = json.loads(bench_path.read_text(encoding="utf-8"))
+        bench = payload if bench is None else {**bench, **payload}
     results = evaluate_slos(
         spec, bench=bench, ledger_records=ledger.load()
     )
     print(f"[slo] spec {spec.path}, {len(spec.rules)} rule(s)")
     print(render_slo_results(results))
     return slo_exit_code(results)
+
+
+def _service_from_args(
+    args: argparse.Namespace,
+) -> "tuple[LocalizerPool, LocalizationService]":
+    """Build a (pool, service) pair from serve/loadtest flags."""
+    from repro.service import (
+        LocalizationService,
+        LocalizerPool,
+        ServiceConfig,
+    )
+
+    pool = LocalizerPool(grid_resolution_m=args.resolution)
+    config = ServiceConfig(
+        rate_per_s=args.rate,
+        burst=args.burst,
+        api_keys=(
+            frozenset(args.api_key) if args.api_key else None
+        ),
+        max_batch=args.max_batch,
+        max_wait_s=args.max_wait_ms / 1000.0,
+        access_log_path=getattr(args, "access_log", None),
+    )
+    return pool, LocalizationService(pool=pool, config=config)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    return _maybe_observed(args, lambda: _run_serve(args))
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.service import make_server
+
+    pool, service = _service_from_args(args)
+    if not args.no_prewarm:
+        print(f"[serve] prewarming {', '.join(pool.names())} ...")
+        pool.prewarm()
+        for name, info in sorted(pool.info()["warm"].items()):
+            print(
+                f"[serve] {name}: {info['num_anchors']} anchors, "
+                f"warm in {info['warmup_s']:.2f}s"
+            )
+    server = make_server(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(
+        f"[serve] listening on http://{host}:{port} "
+        f"(POST /v1/locate, GET /v1/health, GET /v1/stats)"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("[serve] shutting down")
+    finally:
+        server.server_close()
+        service.close()
+    return 0
+
+
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    return _maybe_observed(args, lambda: _run_loadtest(args))
+
+
+def _run_loadtest(args: argparse.Namespace) -> int:
+    import threading
+
+    from repro.errors import ReproError
+    from repro.service import (
+        make_server,
+        run_loadtest,
+        update_bench_service_json,
+    )
+
+    server = None
+    service = None
+    host, port = args.host, args.port
+    if args.self_host:
+        pool, service = _service_from_args(args)
+        pool.prewarm()
+        server = make_server(service, host="127.0.0.1", port=0)
+        host, port = server.server_address[:2]
+        threading.Thread(
+            target=server.serve_forever, daemon=True
+        ).start()
+        print(f"[loadtest] self-hosted server on {host}:{port}")
+    try:
+        result = run_loadtest(
+            host,
+            port,
+            scenario=args.scenario,
+            clients=args.clients,
+            requests_per_client=args.per_client,
+            seed=args.seed,
+            api_key=args.api_key[0] if args.api_key else None,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if service is not None:
+            service.close()
+    print(
+        f"[loadtest] {result.requests} requests, {args.clients} "
+        f"client(s): p50 {result.p50_s * 1000:.1f} ms, "
+        f"p95 {result.p95_s * 1000:.1f} ms, "
+        f"p99 {result.p99_s * 1000:.1f} ms, "
+        f"{result.throughput_rps:.1f} req/s, {result.errors} error(s)"
+    )
+    if result.median_error_m is not None:
+        print(
+            f"[loadtest] median localization error "
+            f"{result.median_error_m * 100:.0f} cm; providers "
+            f"{result.providers}"
+        )
+    if args.bench_out:
+        update_bench_service_json(
+            args.bench_out,
+            result,
+            scenario=args.scenario,
+            clients=args.clients,
+            grid_resolution_m=(
+                args.resolution if args.self_host else None
+            ),
+        )
+        print(f"[loadtest] wrote {args.bench_out}")
+    results = getattr(args, "_ledger_results", None) or {}
+    results.update(
+        {
+            "service.p50_s": result.p50_s,
+            "service.p95_s": result.p95_s,
+            "service.p99_s": result.p99_s,
+            "service.throughput_rps": result.throughput_rps,
+            "service.requests": result.requests,
+            "service.errors": result.errors,
+        }
+    )
+    if result.median_error_m is not None:
+        results["service.median_error_m"] = result.median_error_m
+    args._ledger_results = results
+    return 1 if result.errors else 0
 
 
 def cmd_floorplan(args: argparse.Namespace) -> int:
@@ -549,12 +705,111 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="slo.toml spec (default: the repository slo.toml)",
     )
     obs_slo.add_argument(
-        "--bench", metavar="PATH", default="BENCH_localize.json",
-        help="bench payload for source='bench' rules "
+        "--bench", metavar="PATH", action="append", default=None,
+        help="bench payload for source='bench' rules; repeatable, later "
+        "payloads shallow-merge over earlier ones "
         "(default: BENCH_localize.json; pass '' to skip)",
     )
     add_obs_ledger_arg(obs_slo)
     obs.set_defaults(func=cmd_obs)
+
+    def add_service_flags(command: argparse.ArgumentParser) -> None:
+        from repro.service.pool import DEFAULT_SERVICE_RESOLUTION_M
+
+        command.add_argument(
+            "--resolution",
+            type=float,
+            default=DEFAULT_SERVICE_RESOLUTION_M,
+            metavar="M",
+            help="grid resolution of the warm localizers "
+            f"(default: {DEFAULT_SERVICE_RESOLUTION_M} m)",
+        )
+        command.add_argument(
+            "--rate", type=float, default=50.0, metavar="R",
+            help="token-bucket refill rate per API key (default: 50/s)",
+        )
+        command.add_argument(
+            "--burst", type=int, default=20, metavar="B",
+            help="token-bucket burst capacity per API key (default: 20)",
+        )
+        command.add_argument(
+            "--api-key",
+            action="append",
+            default=None,
+            metavar="KEY",
+            help="allowlisted API key; repeatable (default: accept any "
+            "key, one bucket each)",
+        )
+        command.add_argument(
+            "--max-batch", type=int, default=8, metavar="N",
+            help="micro-batcher: max requests per locate_batch call "
+            "(default: 8)",
+        )
+        command.add_argument(
+            "--max-wait-ms",
+            type=float,
+            default=5.0,
+            metavar="MS",
+            help="micro-batcher: max coalescing wait (default: 5 ms)",
+        )
+
+    serve = sub.add_parser(
+        "serve", help="run the warm-pool localization HTTP service"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument(
+        "--access-log",
+        metavar="PATH",
+        default=None,
+        help="append one NDJSON line per request to PATH",
+    )
+    serve.add_argument(
+        "--no-prewarm",
+        action="store_true",
+        help="build scenarios lazily on first request instead of at "
+        "startup",
+    )
+    add_service_flags(serve)
+    add_obs_flags(serve)
+    serve.set_defaults(func=cmd_serve)
+
+    lt = sub.add_parser(
+        "loadtest",
+        help="drive a live locate endpoint and record p50/p95/p99",
+    )
+    lt.add_argument("--host", default="127.0.0.1")
+    lt.add_argument("--port", type=int, default=8080)
+    lt.add_argument(
+        "--self-host",
+        action="store_true",
+        help="start an in-process server on an ephemeral port for the "
+        "duration of the run (ignores --host/--port)",
+    )
+    lt.add_argument(
+        "--scenario", default="vicon",
+        help="scenario key to post against (default: vicon)",
+    )
+    lt.add_argument(
+        "--clients", type=int, default=4, metavar="N",
+        help="concurrent client threads (default: 4)",
+    )
+    lt.add_argument(
+        "--per-client", type=int, default=8, metavar="N",
+        help="requests per client (default: 8)",
+    )
+    lt.add_argument("--seed", type=int, default=2018)
+    lt.add_argument(
+        "--bench-out",
+        metavar="PATH",
+        default="BENCH_service.json",
+        help="write the latency summary here (default: "
+        "BENCH_service.json; pass '' to skip)",
+    )
+    add_service_flags(lt)
+    add_obs_flags(lt)
+    add_ledger_flags(lt, default_on=True)
+    lt.set_defaults(func=cmd_loadtest)
 
     plan = sub.add_parser("floorplan", help="render the default testbed")
     plan.add_argument("--width", type=int, default=66)

@@ -496,6 +496,7 @@ METRIC_NAMESPACES: Set[str] = {
     "health",
     "obs",
     "peaks",
+    "service",
 }
 
 _METRIC_FACTORIES: Set[str] = {"counter", "gauge", "histogram"}

@@ -1,0 +1,515 @@
+"""The locate endpoint: HTTP front end over the warm pool.
+
+Layering follows the ichnaea shape -- a transport-free service core a
+test can drive without sockets, wrapped by a thin stdlib HTTP adapter:
+
+* :class:`LocalizationService` owns the request lifecycle
+  (schema -> auth -> rate limit -> scenario -> micro-batch -> provider
+  chain) and returns ``(status, body, headers)`` tuples.
+* :func:`make_server` binds it behind a ``ThreadingHTTPServer`` with
+  three routes: ``POST /v1/locate``, ``GET /v1/health``,
+  ``GET /v1/stats``.
+
+Error taxonomy (every failure is a typed JSON envelope, never a bare
+traceback): 400 schema violation, 401 unknown API key when an allowlist
+is configured, 404 unknown scenario, 429 over the token bucket (with
+``Retry-After``), 503 when every provider in the chain failed.  A
+degraded request that *any* provider can answer is a 200 naming the
+provider -- degradation is data, not an error.
+
+Instrumentation: per-request ``service.*`` metrics and a request span
+through :mod:`repro.obs` when an observer is installed, always-on plain
+counters for ``/v1/stats``, and an optional NDJSON access log (API keys
+are logged as truncated digests, never raw).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple, Type
+
+from repro.errors import LocalizationError
+from repro.obs import LATENCY_BUCKETS_S, get_observer
+from repro.service.batcher import MicroBatcher
+from repro.service.pool import (
+    LocalizerPool,
+    UnknownScenarioError,
+)
+from repro.service.ratelimit import RateLimiter
+from repro.service.schema import (
+    MAX_BODY_BYTES,
+    SchemaError,
+    decode_observations,
+    error_body,
+    locate_response,
+    parse_locate_request,
+)
+
+#: (status, JSON body, extra headers) -- what every handler returns.
+Response = Tuple[int, Dict[str, Any], Dict[str, str]]
+
+
+def _key_digest(api_key: Optional[str]) -> str:
+    """Loggable identity of an API key: short digest, never the key."""
+    if not api_key:
+        return "-"
+    return hashlib.sha256(api_key.encode("utf-8")).hexdigest()[:8]
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables of one service instance.
+
+    Attributes:
+        rate_per_s / burst: token-bucket parameters per API key.
+        api_keys: optional allowlist; None accepts any key.
+        max_batch / max_wait_s: micro-batcher coalescing window.
+        access_log_path: NDJSON access log (None disables logging).
+    """
+
+    rate_per_s: float = 50.0
+    burst: int = 20
+    api_keys: Optional[FrozenSet[str]] = None
+    max_batch: int = 8
+    max_wait_s: float = 0.005
+    access_log_path: Optional[str] = None
+
+
+class LocalizationService:
+    """Transport-free request handling over a warm localizer pool.
+
+    Thread-safety: all entry points may be called concurrently from
+    server threads; shared counters, the access log and batcher
+    creation are lock-protected, and the pool/limiter guard themselves.
+    """
+
+    def __init__(
+        self,
+        pool: Optional[LocalizerPool] = None,
+        config: Optional[ServiceConfig] = None,
+    ):
+        self.pool = pool or LocalizerPool()
+        self.config = config or ServiceConfig()
+        self.limiter = RateLimiter(
+            rate_per_s=self.config.rate_per_s,
+            burst=self.config.burst,
+            api_keys=self.config.api_keys,
+        )
+        self.started_monotonic = time.monotonic()
+        self._batchers: Dict[str, MicroBatcher] = {}
+        self._lock = threading.Lock()
+        self._request_counter = 0
+        self.responses_by_status: Dict[int, int] = {}
+        self.responses_by_provider: Dict[str, int] = {}
+        self._access_log = (
+            open(self.config.access_log_path, "a", encoding="utf-8")
+            if self.config.access_log_path
+            else None
+        )
+        self._closed = False
+
+    # ---------------------------------------------------------- helpers
+
+    def _next_request_id(self) -> str:
+        with self._lock:
+            self._request_counter += 1
+            return f"req-{self._request_counter:06d}"
+
+    def _batcher_for(self, scenario: str) -> MicroBatcher:
+        """Get-or-create the scenario's micro-batcher (lock-protected)."""
+        batcher = self._batchers.get(scenario)
+        if batcher is not None:
+            return batcher
+        warm = self.pool.get(scenario)
+        with self._lock:
+            batcher = self._batchers.get(scenario)
+            if batcher is None:
+                batcher = MicroBatcher(
+                    warm.chain.locate_batch,
+                    max_batch=self.config.max_batch,
+                    max_wait_s=self.config.max_wait_s,
+                    name=f"batch-{scenario}",
+                )
+                self._batchers[scenario] = batcher
+        return batcher
+
+    def _record(
+        self,
+        status: int,
+        request_id: str,
+        api_key: Optional[str],
+        scenario: Optional[str],
+        provider: Optional[str],
+        latency_s: float,
+        error_code: Optional[str],
+    ) -> None:
+        """Account one finished request: counters, metrics, access log."""
+        with self._lock:
+            self.responses_by_status[status] = (
+                self.responses_by_status.get(status, 0) + 1
+            )
+            if provider is not None:
+                self.responses_by_provider[provider] = (
+                    self.responses_by_provider.get(provider, 0) + 1
+                )
+        observer = get_observer()
+        if observer.enabled:
+            observer.metrics.counter("service.requests_total").inc()
+            observer.metrics.counter(f"service.status.{status}").inc()
+            if provider is not None:
+                observer.metrics.counter(
+                    f"service.provider.{provider}"
+                ).inc()
+            observer.metrics.histogram(
+                "service.request_latency_s", LATENCY_BUCKETS_S
+            ).observe(latency_s)
+        if self._access_log is not None:
+            line = json.dumps(
+                {
+                    "ts": time.time(),
+                    "request_id": request_id,
+                    "key": _key_digest(api_key),
+                    "scenario": scenario,
+                    "status": status,
+                    "provider": provider,
+                    "latency_s": round(latency_s, 6),
+                    "error": error_code,
+                },
+                sort_keys=True,
+            )
+            with self._lock:
+                self._access_log.write(line + "\n")
+                self._access_log.flush()
+
+    # ----------------------------------------------------------- routes
+
+    def handle_locate(self, raw_body: bytes) -> Response:
+        """Serve one ``POST /v1/locate`` body end to end."""
+        started = time.perf_counter()
+        request_id = self._next_request_id()
+        api_key: Optional[str] = None
+        scenario: Optional[str] = None
+        observer = get_observer()
+        with observer.span("service.locate"):
+            try:
+                request = parse_locate_request(raw_body)
+            except SchemaError as exc:
+                return self._finish(
+                    400,
+                    error_body(
+                        "invalid_request",
+                        exc.message,
+                        field=exc.field,
+                        request_id=request_id,
+                    ),
+                    {},
+                    request_id,
+                    api_key,
+                    scenario,
+                    None,
+                    started,
+                    "invalid_request",
+                )
+            api_key = request.api_key
+            scenario = request.scenario
+            if not self.limiter.authorized(api_key):
+                return self._finish(
+                    401,
+                    error_body(
+                        "unauthorized",
+                        "unknown API key",
+                        request_id=request_id,
+                    ),
+                    {},
+                    request_id,
+                    api_key,
+                    scenario,
+                    None,
+                    started,
+                    "unauthorized",
+                )
+            decision = self.limiter.check(api_key)
+            if not decision.allowed:
+                retry_after = max(
+                    1, int(math.ceil(decision.retry_after_s))
+                )
+                return self._finish(
+                    429,
+                    error_body(
+                        "rate_limited",
+                        "token bucket empty for this API key",
+                        retry_after_s=round(decision.retry_after_s, 4),
+                        request_id=request_id,
+                    ),
+                    {"Retry-After": str(retry_after)},
+                    request_id,
+                    api_key,
+                    scenario,
+                    None,
+                    started,
+                    "rate_limited",
+                )
+            try:
+                warm = self.pool.get(request.scenario)
+            except UnknownScenarioError as exc:
+                return self._finish(
+                    404,
+                    error_body(
+                        "unknown_scenario",
+                        str(exc),
+                        scenarios=exc.known,
+                        request_id=request_id,
+                    ),
+                    {},
+                    request_id,
+                    api_key,
+                    scenario,
+                    None,
+                    started,
+                    "unknown_scenario",
+                )
+            try:
+                observations = decode_observations(
+                    request.observations,
+                    warm.testbed.anchors,
+                    warm.testbed.master_index,
+                )
+            except SchemaError as exc:
+                return self._finish(
+                    400,
+                    error_body(
+                        "invalid_request",
+                        exc.message,
+                        field=exc.field,
+                        request_id=request_id,
+                    ),
+                    {},
+                    request_id,
+                    api_key,
+                    scenario,
+                    None,
+                    started,
+                    "invalid_request",
+                )
+            outcome = self._batcher_for(request.scenario).locate(
+                observations
+            )
+            if isinstance(outcome.decision, LocalizationError):
+                return self._finish(
+                    503,
+                    error_body(
+                        "no_fix",
+                        str(outcome.decision),
+                        request_id=request_id,
+                    ),
+                    {},
+                    request_id,
+                    api_key,
+                    scenario,
+                    None,
+                    started,
+                    "no_fix",
+                )
+            latency_s = time.perf_counter() - started
+            body = locate_response(
+                position_x=float(outcome.decision.position.x),
+                position_y=float(outcome.decision.position.y),
+                provider=outcome.decision.provider,
+                scenario=request.scenario,
+                request_id=request_id,
+                latency_s=round(latency_s, 6),
+                quality=outcome.decision.quality.to_dict(),
+                fallback_reasons=outcome.decision.fallback_reasons,
+                batch_size=outcome.batch_size,
+            )
+            self._record(
+                200,
+                request_id,
+                api_key,
+                scenario,
+                outcome.decision.provider,
+                latency_s,
+                None,
+            )
+            return 200, body, {}
+
+    def _finish(
+        self,
+        status: int,
+        body: Dict[str, Any],
+        headers: Dict[str, str],
+        request_id: str,
+        api_key: Optional[str],
+        scenario: Optional[str],
+        provider: Optional[str],
+        started: float,
+        error_code: Optional[str],
+    ) -> Response:
+        """Record a non-200 outcome and shape the response tuple."""
+        self._record(
+            status,
+            request_id,
+            api_key,
+            scenario,
+            provider,
+            time.perf_counter() - started,
+            error_code,
+        )
+        return status, body, headers
+
+    def handle_health(self) -> Response:
+        """``GET /v1/health``: liveness plus warm-pool readiness."""
+        pool_info = self.pool.info()
+        return (
+            200,
+            {
+                "status": "ok",
+                "uptime_s": round(
+                    time.monotonic() - self.started_monotonic, 3
+                ),
+                "scenarios": pool_info["scenarios"],
+                "warm": sorted(pool_info["warm"]),
+            },
+            {},
+        )
+
+    def handle_stats(self) -> Response:
+        """``GET /v1/stats``: pool, limiter, batcher and status counters."""
+        with self._lock:
+            by_status = {
+                str(status): count
+                for status, count in sorted(
+                    self.responses_by_status.items()
+                )
+            }
+            by_provider = dict(
+                sorted(self.responses_by_provider.items())
+            )
+            batchers = {
+                name: batcher.info()
+                for name, batcher in sorted(self._batchers.items())
+            }
+        return (
+            200,
+            {
+                "uptime_s": round(
+                    time.monotonic() - self.started_monotonic, 3
+                ),
+                "responses_by_status": by_status,
+                "responses_by_provider": by_provider,
+                "pool": self.pool.info(),
+                "ratelimit": self.limiter.info(),
+                "batchers": batchers,
+            },
+            {},
+        )
+
+    def close(self) -> None:
+        """Stop batcher workers and close the access log."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            batchers = list(self._batchers.values())
+        for batcher in batchers:
+            batcher.close()
+        if self._access_log is not None:
+            with self._lock:
+                self._access_log.close()
+
+
+# ------------------------------------------------------------- transport
+
+
+def _handler_for(service: LocalizationService) -> Type[BaseHTTPRequestHandler]:
+    """Build the request-handler class bound to one service instance."""
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        # The NDJSON access log supersedes BaseHTTPRequestHandler's
+        # stderr chatter.
+
+        def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+            pass
+
+        def _send(self, response: Response) -> None:
+            status, body, headers = response
+            payload = json.dumps(body).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(payload)))
+            for name, value in headers.items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(payload)
+
+        def do_POST(self) -> None:
+            if self.path != "/v1/locate":
+                self._send(
+                    (404, error_body("not_found", self.path), {})
+                )
+                return
+            length = int(self.headers.get("Content-Length") or 0)
+            if length <= 0:
+                self._send(
+                    (
+                        400,
+                        error_body(
+                            "invalid_request",
+                            "a JSON body with Content-Length is "
+                            "required",
+                        ),
+                        {},
+                    )
+                )
+                return
+            if length > MAX_BODY_BYTES:
+                self._send(
+                    (
+                        413,
+                        error_body(
+                            "payload_too_large",
+                            f"body exceeds {MAX_BODY_BYTES} bytes",
+                        ),
+                        {},
+                    )
+                )
+                return
+            raw = self.rfile.read(length)
+            self._send(service.handle_locate(raw))
+
+        def do_GET(self) -> None:
+            if self.path == "/v1/health":
+                self._send(service.handle_health())
+            elif self.path == "/v1/stats":
+                self._send(service.handle_stats())
+            else:
+                self._send(
+                    (404, error_body("not_found", self.path), {})
+                )
+
+    return Handler
+
+
+def make_server(
+    service: LocalizationService, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """Bind the service behind a threading HTTP server.
+
+    ``port=0`` binds an ephemeral port (tests); the bound address is
+    ``server.server_address``.  The caller owns the lifecycle::
+
+        server = make_server(service, port=8080)
+        server.serve_forever()          # blocks; Ctrl-C to stop
+        ...
+        server.shutdown(); service.close()
+    """
+    server = ThreadingHTTPServer((host, port), _handler_for(service))
+    server.daemon_threads = True
+    return server

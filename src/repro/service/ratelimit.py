@@ -1,0 +1,161 @@
+"""API-key token-bucket rate limiting for the locate endpoint.
+
+One :class:`TokenBucket` per API key: a bucket holds up to ``burst``
+tokens, refills at ``rate_per_s``, and each request spends one token.
+An empty bucket yields a 429 with a ``Retry-After`` derived from the
+exact deficit, so well-behaved clients can pace themselves instead of
+hammering.
+
+The limiter optionally carries an API-key allowlist; when one is
+configured, unknown keys are rejected outright (401) *before* they can
+consume bucket state.  Without an allowlist any key -- including the
+anonymous empty key -- gets its own bucket, which is the right default
+for a reproduction service (isolation without credential management).
+
+Time is injected (``clock``) so tests drive the refill deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Optional
+
+from repro.errors import ConfigurationError
+
+#: Bucket key used when a request carries no API key.
+ANONYMOUS_KEY = "-"
+
+
+@dataclass(frozen=True)
+class RateLimitDecision:
+    """Outcome of one admission check.
+
+    Attributes:
+        allowed: whether the request may proceed.
+        retry_after_s: seconds until one token is available (0 when
+            allowed); the HTTP layer rounds this up into ``Retry-After``.
+        tokens_left: tokens remaining after the decision (diagnostic).
+    """
+
+    allowed: bool
+    retry_after_s: float = 0.0
+    tokens_left: float = 0.0
+
+
+class TokenBucket:
+    """A single key's token bucket.
+
+    Thread-safety: callers must serialise access (the owning
+    :class:`RateLimiter` holds its registry lock across ``acquire``).
+    """
+
+    def __init__(self, rate_per_s: float, burst: int):
+        if rate_per_s <= 0:
+            raise ConfigurationError(
+                f"rate_per_s must be > 0, got {rate_per_s}"
+            )
+        if burst < 1:
+            raise ConfigurationError(f"burst must be >= 1, got {burst}")
+        self.rate_per_s = float(rate_per_s)
+        self.burst = int(burst)
+        self._tokens = float(burst)
+        self._updated_at: Optional[float] = None
+
+    def acquire(self, now: float) -> RateLimitDecision:
+        """Spend one token at time ``now`` (monotonic seconds)."""
+        if self._updated_at is not None:
+            elapsed = max(0.0, now - self._updated_at)
+            self._tokens = min(
+                float(self.burst), self._tokens + elapsed * self.rate_per_s
+            )
+        self._updated_at = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return RateLimitDecision(
+                allowed=True, tokens_left=self._tokens
+            )
+        deficit = 1.0 - self._tokens
+        return RateLimitDecision(
+            allowed=False,
+            retry_after_s=deficit / self.rate_per_s,
+            tokens_left=self._tokens,
+        )
+
+
+@dataclass
+class RateLimiter:
+    """Per-API-key admission control for the service.
+
+    Attributes:
+        rate_per_s: steady-state tokens per second per key.
+        burst: bucket capacity per key.
+        api_keys: optional allowlist; None accepts any key.
+        clock: monotonic time source (injected for tests).
+        allowed_total / throttled_total / rejected_total: lifetime
+            counters for /v1/stats.
+    """
+
+    rate_per_s: float = 50.0
+    burst: int = 20
+    api_keys: Optional[FrozenSet[str]] = None
+    clock: Callable[[], float] = time.monotonic
+    allowed_total: int = 0
+    throttled_total: int = 0
+    rejected_total: int = 0
+    _buckets: Dict[str, TokenBucket] = field(
+        default_factory=dict, repr=False
+    )
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False
+    )
+
+    def authorized(self, api_key: Optional[str]) -> bool:
+        """Whether the key passes the allowlist (trivially true without
+        one).  Thread-safe: reads immutable configuration only."""
+        if self.api_keys is None:
+            return True
+        authorized = api_key is not None and api_key in self.api_keys
+        if not authorized:
+            with self._lock:
+                self.rejected_total += 1
+        return authorized
+
+    def check(self, api_key: Optional[str]) -> RateLimitDecision:
+        """Admit or throttle one request for ``api_key``.
+
+        Thread-safe: bucket lookup, refill and spend happen under one
+        registry lock (requests are admission-checked in well under a
+        microsecond, so a single lock does not bottleneck the pool).
+        """
+        key = api_key if api_key else ANONYMOUS_KEY
+        now = self.clock()
+        with self._lock:
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                bucket = TokenBucket(self.rate_per_s, self.burst)
+                self._buckets[key] = bucket
+            decision = bucket.acquire(now)
+            if decision.allowed:
+                self.allowed_total += 1
+            else:
+                self.throttled_total += 1
+        return decision
+
+    def info(self) -> dict:
+        """Plain-data limiter statistics for /v1/stats."""
+        with self._lock:
+            return {
+                "rate_per_s": self.rate_per_s,
+                "burst": self.burst,
+                "keys": len(self._buckets),
+                "allowlist": (
+                    sorted(self.api_keys)
+                    if self.api_keys is not None
+                    else None
+                ),
+                "allowed_total": self.allowed_total,
+                "throttled_total": self.throttled_total,
+                "rejected_total": self.rejected_total,
+            }

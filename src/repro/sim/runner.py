@@ -289,6 +289,27 @@ def _resolve_workers(
     return count
 
 
+def _resolve_limit(
+    limit: Optional[int], observations: Sequence[ChannelObservations]
+) -> Sequence[ChannelObservations]:
+    """Apply the documented ``limit`` contract to a dataset's entries.
+
+    ``None`` evaluates everything, ``0`` evaluates nothing and positive
+    values take the first ``limit`` entries.  Negative values raise: the
+    Python slice they used to fall into (``observations[:-1]``) silently
+    evaluated all-but-the-last entries, which no caller ever means.
+    """
+    if limit is None:
+        return observations
+    count = int(limit)
+    if count < 0:
+        raise ConfigurationError(
+            f"limit must be >= 0 (0 means none, None means all), "
+            f"got {limit}"
+        )
+    return observations[:count]
+
+
 def _resolve_backend(
     backend: Optional[str],
     workers: int,
@@ -618,7 +639,9 @@ def evaluate(
         label: report name.
         transform: optional per-entry observation transform (antenna /
             anchor / bandwidth subsetting).
-        limit: evaluate only the first ``limit`` entries (0 means none).
+        limit: evaluate only the first ``limit`` entries (0 means none,
+            None means all; negative values raise
+            :class:`~repro.errors.ConfigurationError`).
         workers: worker count for parallel evaluation (None or 1 runs
             serially), clamped to the entry count.  Records keep dataset
             order and per-worker metrics are merged into the active
@@ -648,11 +671,7 @@ def evaluate(
     with the worker death named in ``failure_reason``.
     """
     observer = get_observer()
-    entries = (
-        dataset.observations[:limit]
-        if limit is not None
-        else dataset.observations
-    )
+    entries = _resolve_limit(limit, dataset.observations)
     workers = _resolve_workers(workers, len(entries))
     if batch_size is not None and int(batch_size) < 1:
         raise ConfigurationError(
@@ -747,6 +766,7 @@ def evaluate_anchor_subsets(
     limit: Optional[int] = None,
     workers: Optional[int] = None,
     backend: Optional[str] = None,
+    batch_size: Optional[int] = None,
 ) -> EvaluationRun:
     """Average over all anchor subsets of a given size (Section 8.3).
 
@@ -761,13 +781,21 @@ def evaluate_anchor_subsets(
     thread or process pool as there.  Subset geometries differ per
     sub-fix, so the process backend skips the shared-memory steering
     publication and lets each worker build its own cache.
+
+    ``batch_size`` is accepted for signature parity with
+    :func:`evaluate` but must stay None: every sub-fix of an entry runs
+    on a *different* anchor geometry, so there is no shared steering
+    matrix for a batched Eq. 17 pass to reuse -- requesting one is a
+    configuration error, not a silent no-op.
     """
     observer = get_observer()
-    entries = (
-        dataset.observations[:limit]
-        if limit is not None
-        else dataset.observations
-    )
+    if batch_size is not None:
+        raise ConfigurationError(
+            "anchor-subset sweeps cannot batch: each subset evaluates "
+            "a different anchor geometry, so batch_size must be None "
+            f"(got {batch_size})"
+        )
+    entries = _resolve_limit(limit, dataset.observations)
     workers = _resolve_workers(workers, len(entries))
     backend = _resolve_backend(backend, workers, None)
 

@@ -220,6 +220,42 @@ min = 0.5
         ) == 2
         assert "error" in capsys.readouterr().err
 
+    MERGED_SLO_SPEC = """\
+[slo.warm_fix_s]
+source = "bench"
+key = "steering_cache.warm_s_per_fix"
+max = 0.1
+
+[slo.service_p95_s]
+source = "bench"
+key = "service.p95_s"
+max = 1.0
+"""
+
+    def test_obs_slo_merges_repeated_bench_payloads(
+        self, capsys, tmp_path
+    ):
+        import json
+
+        spec_path = tmp_path / "slo.toml"
+        spec_path.write_text(self.MERGED_SLO_SPEC, encoding="utf-8")
+        localize = tmp_path / "bench_localize.json"
+        localize.write_text(
+            json.dumps({"steering_cache": {"warm_s_per_fix": 0.01}}),
+            encoding="utf-8",
+        )
+        service = tmp_path / "bench_service.json"
+        service.write_text(
+            json.dumps({"service": {"p95_s": 0.05}}), encoding="utf-8"
+        )
+        assert main(
+            ["obs", "slo", "--ledger", str(tmp_path / "runs.ndjson"),
+             "--spec", str(spec_path),
+             "--bench", str(localize), "--bench", str(service)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "SLO gate: 2 ok, 0 failed, 0 skipped" in out
+
 
 class TestCliDiagnostics:
     def test_evaluate_writes_bundles_and_diag_replays(

@@ -1,0 +1,326 @@
+"""HTTP endpoint against a live ephemeral-port server.
+
+Covers the ISSUE's error-path matrix: malformed JSON -> 400, unknown
+scenario -> 404, exhausted token bucket -> 429 with Retry-After,
+injected band outage -> fallback provider (not a 5xx), warm steering
+cache reuse across requests, and micro-batched results matching the
+serial chain.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+from typing import Dict, Optional, Tuple
+
+import pytest
+
+from repro.service import (
+    LocalizationService,
+    ServiceConfig,
+    encode_observations,
+    make_server,
+)
+from repro.sim.interference import inject_band_outage
+
+
+def _post(
+    host: str,
+    port: int,
+    body: bytes,
+    path: str = "/v1/locate",
+) -> Tuple[int, dict, Dict[str, str]]:
+    connection = http.client.HTTPConnection(host, port, timeout=30.0)
+    try:
+        connection.request(
+            "POST",
+            path,
+            body=body,
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        payload = json.loads(response.read().decode("utf-8"))
+        headers = {k.lower(): v for k, v in response.getheaders()}
+        return response.status, payload, headers
+    finally:
+        connection.close()
+
+
+def _get(host: str, port: int, path: str) -> Tuple[int, dict]:
+    connection = http.client.HTTPConnection(host, port, timeout=30.0)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        return response.status, json.loads(response.read().decode("utf-8"))
+    finally:
+        connection.close()
+
+
+class TestLocateHappyPath:
+    def test_locate_returns_position_and_provider(
+        self, live_server, locate_body, tag_position
+    ):
+        host, port = live_server
+        status, payload, _ = _post(host, port, locate_body)
+        assert status == 200
+        assert payload["provider"] == "bloc"
+        assert payload["scenario"] == "vicon"
+        position = payload["position"]
+        # Coarse service grid: decimetres of quantisation are expected.
+        assert abs(position["x"] - tag_position.x) < 1.0
+        assert abs(position["y"] - tag_position.y) < 1.0
+        assert payload["quality"]["band_coverage"] == pytest.approx(1.0)
+        assert payload["fallback_reasons"] == []
+        assert payload["latency_s"] > 0
+
+    def test_second_request_hits_warm_steering_cache(
+        self, live_server, locate_body, service_pool
+    ):
+        host, port = live_server
+        status, _, _ = _post(host, port, locate_body)
+        assert status == 200
+        before = service_pool.engine.info()
+        status, _, _ = _post(host, port, locate_body)
+        assert status == 200
+        after = service_pool.engine.info()
+        # Warm path: the hit counter moves, nothing is rebuilt.
+        assert after["hits"] > before["hits"]
+        assert after["misses"] == before["misses"]
+        assert after["entries"] == before["entries"]
+
+
+class TestErrorPaths:
+    def test_malformed_json_is_400(self, live_server):
+        host, port = live_server
+        status, payload, _ = _post(host, port, b"{definitely not json")
+        assert status == 400
+        assert payload["error"]["code"] == "invalid_request"
+        assert payload["error"]["field"] == "body"
+
+    def test_bad_shape_is_400(self, live_server, observations):
+        host, port = live_server
+        encoded = encode_observations(observations)
+        encoded["tag_to_anchor"] = encoded["tag_to_anchor"][:-1]
+        body = json.dumps(
+            {"scenario": "vicon", "observations": encoded}
+        ).encode()
+        status, payload, _ = _post(host, port, body)
+        assert status == 400
+        assert "tag_to_anchor" in payload["error"]["field"]
+
+    def test_unknown_scenario_is_404(self, live_server, observations):
+        host, port = live_server
+        body = json.dumps(
+            {
+                "scenario": "warehouse-9",
+                "observations": encode_observations(observations),
+            }
+        ).encode()
+        status, payload, _ = _post(host, port, body)
+        assert status == 404
+        assert payload["error"]["code"] == "unknown_scenario"
+        assert "vicon" in payload["error"]["scenarios"]
+
+    def test_unknown_route_is_404(self, live_server):
+        host, port = live_server
+        status, payload, _ = _post(host, port, b"{}", path="/v2/locate")
+        assert status == 404
+        status, payload = _get(host, port, "/nope")
+        assert status == 404
+
+    def test_empty_body_is_400(self, live_server):
+        host, port = live_server
+        status, payload, _ = _post(host, port, b"")
+        assert status == 400
+
+
+class TestRateLimiting:
+    @pytest.fixture()
+    def throttled_server(self, service_pool):
+        """A server whose buckets hold 2 tokens and barely refill."""
+        service = LocalizationService(
+            pool=service_pool,
+            config=ServiceConfig(
+                rate_per_s=0.01, burst=2, max_wait_s=0.0
+            ),
+        )
+        server = make_server(service, host="127.0.0.1", port=0)
+        thread = threading.Thread(
+            target=server.serve_forever, daemon=True
+        )
+        thread.start()
+        host, port = server.server_address[:2]
+        yield str(host), int(port)
+        server.shutdown()
+        server.server_close()
+        service.close()
+
+    def test_exhaustion_yields_429_with_retry_after(
+        self, throttled_server, locate_body
+    ):
+        host, port = throttled_server
+        statuses = []
+        retry_after: Optional[str] = None
+        payload: dict = {}
+        for _ in range(3):
+            status, payload, headers = _post(host, port, locate_body)
+            statuses.append(status)
+            if status == 429:
+                retry_after = headers.get("retry-after")
+        assert statuses[:2] == [200, 200]
+        assert statuses[2] == 429
+        assert payload["error"]["code"] == "rate_limited"
+        assert payload["error"]["retry_after_s"] > 0
+        assert retry_after is not None and int(retry_after) >= 1
+
+    def test_other_keys_unaffected_by_exhaustion(
+        self, throttled_server, observations
+    ):
+        host, port = throttled_server
+
+        def body_for(key: str) -> bytes:
+            return json.dumps(
+                {
+                    "key": key,
+                    "scenario": "vicon",
+                    "observations": encode_observations(observations),
+                }
+            ).encode()
+
+        for _ in range(3):
+            status, _, _ = _post(host, port, body_for("hog"))
+        assert status == 429
+        status, _, _ = _post(host, port, body_for("patient"))
+        assert status == 200
+
+
+class TestAllowlist:
+    @pytest.fixture()
+    def allowlisted_service(self, service_pool):
+        service = LocalizationService(
+            pool=service_pool,
+            config=ServiceConfig(
+                api_keys=frozenset({"good"}), max_wait_s=0.0
+            ),
+        )
+        yield service
+        service.close()
+
+    def test_unknown_key_is_401(
+        self, allowlisted_service, observations
+    ):
+        body = json.dumps(
+            {
+                "key": "evil",
+                "scenario": "vicon",
+                "observations": encode_observations(observations),
+            }
+        ).encode()
+        status, payload, _ = allowlisted_service.handle_locate(body)
+        assert status == 401
+        assert payload["error"]["code"] == "unauthorized"
+
+    def test_listed_key_is_served(
+        self, allowlisted_service, observations
+    ):
+        body = json.dumps(
+            {
+                "key": "good",
+                "scenario": "vicon",
+                "observations": encode_observations(observations),
+            }
+        ).encode()
+        status, payload, _ = allowlisted_service.handle_locate(body)
+        assert status == 200
+
+
+class TestProviderFallbackOverHttp:
+    def test_band_outage_degrades_not_500(
+        self, live_server, observations
+    ):
+        host, port = live_server
+        degraded = inject_band_outage(
+            observations, anchor_index=0, band_indices=list(range(30))
+        )
+        body = json.dumps(
+            {
+                "scenario": "vicon",
+                "observations": encode_observations(degraded),
+            }
+        ).encode()
+        status, payload, _ = _post(host, port, body)
+        assert status == 200
+        assert payload["provider"] in ("aoa", "rssi")
+        assert any(
+            "bloc" in reason for reason in payload["fallback_reasons"]
+        )
+
+
+class TestMicroBatchEquivalence:
+    def test_concurrent_requests_batch_and_match_serial(
+        self, live_server, service_pool, observations
+    ):
+        host, port = live_server
+        degraded = inject_band_outage(
+            observations, anchor_index=1, band_indices=list(range(5))
+        )
+        bodies = [
+            json.dumps(
+                {
+                    "scenario": "vicon",
+                    "observations": encode_observations(obs),
+                }
+            ).encode()
+            for obs in (observations, degraded, observations)
+        ]
+        results: Dict[int, Tuple[int, dict]] = {}
+        lock = threading.Lock()
+
+        def worker(index: int, body: bytes) -> None:
+            status, payload, _ = _post(host, port, body)
+            with lock:
+                results[index] = (status, payload)
+
+        threads = [
+            threading.Thread(target=worker, args=(i, body))
+            for i, body in enumerate(bodies)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(status == 200 for status, _ in results.values())
+        # Concurrent identical inputs agree with the serial chain.
+        chain = service_pool.get("vicon").chain
+        serial = chain.locate(observations)
+        for index in (0, 2):
+            _, payload = results[index]
+            assert payload["provider"] == serial.provider
+            assert payload["position"]["x"] == pytest.approx(
+                serial.position.x, abs=1e-6
+            )
+            assert payload["position"]["y"] == pytest.approx(
+                serial.position.y, abs=1e-6
+            )
+
+
+class TestIntrospectionRoutes:
+    def test_health(self, live_server):
+        host, port = live_server
+        status, payload = _get(host, port, "/v1/health")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert "vicon" in payload["scenarios"]
+
+    def test_stats_expose_pool_limiter_batchers(
+        self, live_server, locate_body
+    ):
+        host, port = live_server
+        _post(host, port, locate_body)
+        status, payload = _get(host, port, "/v1/stats")
+        assert status == 200
+        assert payload["responses_by_status"].get("200", 0) >= 1
+        assert payload["pool"]["engine"]["entries"] >= 1
+        assert "allowed_total" in payload["ratelimit"]
+        assert "vicon" in payload["batchers"]

@@ -1,0 +1,104 @@
+"""Token-bucket rate limiting with a fake clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.ratelimit import (
+    ANONYMOUS_KEY,
+    RateLimiter,
+    TokenBucket,
+)
+
+
+class FakeClock:
+    """A hand-advanced monotonic clock."""
+
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_throttle(self):
+        bucket = TokenBucket(rate_per_s=1.0, burst=3)
+        decisions = [bucket.acquire(0.0) for _ in range(4)]
+        assert [d.allowed for d in decisions] == [True, True, True, False]
+
+    def test_retry_after_matches_deficit(self):
+        bucket = TokenBucket(rate_per_s=2.0, burst=1)
+        assert bucket.acquire(0.0).allowed
+        denied = bucket.acquire(0.0)
+        assert not denied.allowed
+        # An empty bucket at 2 tokens/s refills one token in 0.5 s.
+        assert denied.retry_after_s == pytest.approx(0.5)
+
+    def test_refill_restores_tokens(self):
+        bucket = TokenBucket(rate_per_s=10.0, burst=1)
+        assert bucket.acquire(0.0).allowed
+        assert not bucket.acquire(0.0).allowed
+        assert bucket.acquire(0.2).allowed  # 2 tokens' worth elapsed
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate_per_s=100.0, burst=2)
+        bucket.acquire(0.0)
+        # A long idle period must not bank more than `burst` tokens.
+        decisions = [bucket.acquire(1000.0) for _ in range(3)]
+        assert [d.allowed for d in decisions] == [True, True, False]
+
+    @pytest.mark.parametrize("rate,burst", [(0.0, 1), (-1.0, 1), (1.0, 0)])
+    def test_invalid_parameters_rejected(self, rate, burst):
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate_per_s=rate, burst=burst)
+
+
+class TestRateLimiter:
+    def test_keys_get_independent_buckets(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate_per_s=1.0, burst=1, clock=clock)
+        assert limiter.check("a").allowed
+        assert limiter.check("b").allowed  # b's bucket is untouched
+        assert not limiter.check("a").allowed
+
+    def test_anonymous_requests_share_one_bucket(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate_per_s=1.0, burst=1, clock=clock)
+        assert limiter.check(None).allowed
+        assert not limiter.check("").allowed  # same ANONYMOUS_KEY bucket
+        assert limiter.info()["keys"] == 1
+        assert ANONYMOUS_KEY == "-"
+
+    def test_refill_through_injected_clock(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate_per_s=2.0, burst=1, clock=clock)
+        assert limiter.check("k").allowed
+        assert not limiter.check("k").allowed
+        clock.advance(0.6)
+        assert limiter.check("k").allowed
+
+    def test_allowlist(self):
+        limiter = RateLimiter(api_keys=frozenset({"good"}))
+        assert limiter.authorized("good")
+        assert not limiter.authorized("bad")
+        assert not limiter.authorized(None)
+        assert limiter.info()["rejected_total"] == 2
+
+    def test_no_allowlist_accepts_anything(self):
+        limiter = RateLimiter()
+        assert limiter.authorized(None)
+        assert limiter.authorized("whoever")
+
+    def test_counters(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate_per_s=1.0, burst=2, clock=clock)
+        for _ in range(4):
+            limiter.check("k")
+        info = limiter.info()
+        assert info["allowed_total"] == 2
+        assert info["throttled_total"] == 2

@@ -1,0 +1,144 @@
+"""Schema layer: encode/decode round trips and typed validation errors."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.service.schema import (
+    MAX_BODY_BYTES,
+    SchemaError,
+    decode_observations,
+    encode_observations,
+    error_body,
+    parse_locate_request,
+)
+
+
+def _valid_body(observations) -> dict:
+    return {
+        "scenario": "vicon",
+        "observations": encode_observations(observations),
+    }
+
+
+class TestParseLocateRequest:
+    def test_valid_envelope(self, observations):
+        body = _valid_body(observations)
+        body["key"] = "tenant-1"
+        request = parse_locate_request(json.dumps(body).encode())
+        assert request.scenario == "vicon"
+        assert request.api_key == "tenant-1"
+        assert "tag_to_anchor" in request.observations
+
+    def test_key_optional(self, observations):
+        request = parse_locate_request(
+            json.dumps(_valid_body(observations)).encode()
+        )
+        assert request.api_key is None
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            b"{not json",
+            b"",
+            b"\xff\xfe",
+            b"[1, 2, 3]",
+            b'"just a string"',
+        ],
+    )
+    def test_malformed_body_rejected(self, raw):
+        with pytest.raises(SchemaError, match="body"):
+            parse_locate_request(raw)
+
+    def test_missing_scenario_rejected(self):
+        with pytest.raises(SchemaError, match="scenario"):
+            parse_locate_request(json.dumps({"observations": {}}).encode())
+
+    def test_non_string_key_rejected(self, observations):
+        body = _valid_body(observations)
+        body["key"] = 42
+        with pytest.raises(SchemaError, match="key"):
+            parse_locate_request(json.dumps(body).encode())
+
+    def test_missing_observations_rejected(self):
+        with pytest.raises(SchemaError, match="observations"):
+            parse_locate_request(json.dumps({"scenario": "vicon"}).encode())
+
+    def test_oversized_body_rejected(self):
+        raw = b"x" * (MAX_BODY_BYTES + 1)
+        with pytest.raises(SchemaError, match="exceeds"):
+            parse_locate_request(raw)
+
+
+class TestObservationsCodec:
+    def test_round_trip(self, testbed, observations):
+        payload = encode_observations(observations)
+        decoded = decode_observations(
+            payload, testbed.anchors, testbed.master_index
+        )
+        np.testing.assert_allclose(
+            decoded.tag_to_anchor, observations.tag_to_anchor
+        )
+        np.testing.assert_allclose(
+            decoded.master_to_anchor, observations.master_to_anchor
+        )
+        np.testing.assert_allclose(
+            decoded.frequencies_hz, observations.frequencies_hz
+        )
+        assert decoded.master_index == testbed.master_index
+
+    def test_snr_round_trips_finite_values(self, testbed, observations):
+        payload = encode_observations(observations)
+        if observations.band_snr_db is None:
+            pytest.skip("model produced no SNR annotations")
+        decoded = decode_observations(
+            payload, testbed.anchors, testbed.master_index
+        )
+        finite = np.isfinite(observations.band_snr_db)
+        np.testing.assert_allclose(
+            decoded.band_snr_db[finite],
+            observations.band_snr_db[finite],
+        )
+
+    def test_wrong_shape_rejected(self, testbed, observations):
+        payload = encode_observations(observations)
+        payload["tag_to_anchor"] = payload["tag_to_anchor"][:-1]
+        with pytest.raises(SchemaError, match="tag_to_anchor"):
+            decode_observations(
+                payload, testbed.anchors, testbed.master_index
+            )
+
+    def test_missing_field_rejected(self, testbed, observations):
+        payload = encode_observations(observations)
+        del payload["master_to_anchor"]
+        with pytest.raises(SchemaError, match="master_to_anchor"):
+            decode_observations(
+                payload, testbed.anchors, testbed.master_index
+            )
+
+    def test_non_numeric_rejected(self, testbed, observations):
+        payload = encode_observations(observations)
+        payload["frequencies_hz"] = ["not", "numbers"]
+        with pytest.raises(SchemaError, match="frequencies_hz"):
+            decode_observations(
+                payload, testbed.anchors, testbed.master_index
+            )
+
+    def test_non_finite_rejected(self, testbed, observations):
+        payload = encode_observations(observations)
+        payload["tag_to_anchor"][0][0][0][0] = float("nan")
+        with pytest.raises(SchemaError, match="non-finite"):
+            decode_observations(
+                payload, testbed.anchors, testbed.master_index
+            )
+
+
+class TestErrorBody:
+    def test_envelope_shape(self):
+        body = error_body("rate_limited", "slow down", retry_after_s=1.5)
+        assert body["error"]["code"] == "rate_limited"
+        assert body["error"]["message"] == "slow down"
+        assert body["error"]["retry_after_s"] == 1.5

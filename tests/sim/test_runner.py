@@ -96,6 +96,17 @@ class TestEvaluate:
         run = evaluate(FixedGuess(Point(1, 1)), dataset)
         assert len(run.errors()) == len(run.records)
 
+    def test_negative_limit_rejected(self, dataset):
+        # limit=-1 used to slice observations[:-1], silently evaluating
+        # all-but-the-last entry; the documented contract is "0 means
+        # none", so negatives must raise.
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="limit must be >= 0"):
+            evaluate(PerfectOracle(), dataset, limit=-1)
+        with pytest.raises(ConfigurationError, match="limit must be >= 0"):
+            evaluate(PerfectOracle(), dataset, limit=-len(dataset))
+
 
 class TestParallelEvaluate:
     def test_records_identical_to_serial(self, dataset):
@@ -165,6 +176,25 @@ class TestParallelEvaluate:
             PerfectOracle(), dataset, subset_size=3, limit=0
         )
         assert run.records == []
+
+    def test_anchor_subsets_negative_limit_rejected(self, dataset):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="limit must be >= 0"):
+            evaluate_anchor_subsets(
+                PerfectOracle(), dataset, subset_size=3, limit=-1
+            )
+
+    def test_anchor_subsets_batch_size_rejected(self, dataset):
+        # Sub-fixes evaluate different anchor geometries, so a batched
+        # Eq. 17 pass has nothing to share; asking for one must be a
+        # loud error rather than a silently ignored knob.
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="cannot batch"):
+            evaluate_anchor_subsets(
+                PerfectOracle(), dataset, subset_size=3, batch_size=4
+            )
 
 
 class FailsForSmallSubsets:
