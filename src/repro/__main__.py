@@ -20,6 +20,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from dataclasses import replace
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Optional, Sequence, Union
 
@@ -267,12 +268,18 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
 
 def cmd_obs(args: argparse.Namespace) -> int:
-    """Run-ledger and SLO tooling (``repro obs runs|diff|report|slo``)."""
+    """Observability tooling (``repro obs runs|diff|report|slo|trace|top``)."""
     from repro.errors import ConfigurationError
     from repro.obs import RunLedger, default_ledger_path
 
-    ledger = RunLedger(args.ledger or default_ledger_path())
     try:
+        # trace/top read NDJSON exports and access logs directly; only
+        # the ledger-backed subcommands construct a RunLedger.
+        if args.obs_command == "trace":
+            return _obs_trace(args)
+        if args.obs_command == "top":
+            return _obs_top(args)
+        ledger = RunLedger(args.ledger or default_ledger_path())
         if args.obs_command == "runs":
             return _obs_runs(args, ledger)
         if args.obs_command == "diff":
@@ -283,6 +290,32 @@ def cmd_obs(args: argparse.Namespace) -> int:
     except (ConfigurationError, ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+
+def _obs_trace(args: argparse.Namespace) -> int:
+    """Reconstruct one request's span tree from an NDJSON export."""
+    from repro.obs import load_ndjson, render_trace, resolve_trace_id
+
+    records = load_ndjson(args.export)
+    trace_id = resolve_trace_id(records, args.trace_id)
+    print(render_trace(records, trace_id))
+    return 0
+
+
+def _obs_top(args: argparse.Namespace) -> int:
+    """Live dashboard over the service's NDJSON access log."""
+    from repro.obs import run_top
+
+    frames = 1 if args.once else None
+    rendered = run_top(
+        args.access_log,
+        url=args.url,
+        window_s=args.window,
+        interval_s=args.interval,
+        frames=frames,
+        clear=not args.once,
+    )
+    return 0 if rendered else 1
 
 
 def _obs_runs(args: argparse.Namespace, ledger: "RunLedger") -> int:
@@ -370,6 +403,9 @@ def _service_from_args(
         max_wait_s=args.max_wait_ms / 1000.0,
         access_log_path=getattr(args, "access_log", None),
     )
+    max_bytes = getattr(args, "access_log_max_bytes", None)
+    if max_bytes is not None:
+        config = replace(config, access_log_max_bytes=max_bytes)
     return pool, LocalizationService(pool=pool, config=config)
 
 
@@ -393,7 +429,7 @@ def _run_serve(args: argparse.Namespace) -> int:
     host, port = server.server_address[:2]
     print(
         f"[serve] listening on http://{host}:{port} "
-        f"(POST /v1/locate, GET /v1/health, GET /v1/stats)"
+        f"(POST /v1/locate, GET /v1/health, GET /v1/stats, GET /metrics)"
     )
     try:
         server.serve_forever()
@@ -414,6 +450,7 @@ def _run_loadtest(args: argparse.Namespace) -> int:
 
     from repro.errors import ReproError
     from repro.service import (
+        fetch_metrics,
         make_server,
         run_loadtest,
         update_bench_service_json,
@@ -441,6 +478,13 @@ def _run_loadtest(args: argparse.Namespace) -> int:
             seed=args.seed,
             api_key=args.api_key[0] if args.api_key else None,
         )
+        # Scrape /metrics while the server is still up (before the
+        # self-hosted one is torn down below).
+        if getattr(args, "metrics_out", None):
+            exposition = fetch_metrics(host, port)
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                fh.write(exposition)
+            print(f"[loadtest] wrote {args.metrics_out}")
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -457,6 +501,11 @@ def _run_loadtest(args: argparse.Namespace) -> int:
         f"p99 {result.p99_s * 1000:.1f} ms, "
         f"{result.throughput_rps:.1f} req/s, {result.errors} error(s)"
     )
+    if result.slowest_trace_id:
+        print(
+            f"[loadtest] slowest request trace {result.slowest_trace_id}"
+            f" (repro obs trace {result.slowest_trace_id[:12]} ...)"
+        )
     if result.median_error_m is not None:
         print(
             f"[loadtest] median localization error "
@@ -647,7 +696,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     lint.set_defaults(func=cmd_lint)
 
     obs = sub.add_parser(
-        "obs", help="run ledger and SLO tooling (runs/diff/report/slo)"
+        "obs",
+        help="observability tooling (runs/diff/report/slo/trace/top)",
     )
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)
 
@@ -711,6 +761,51 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "(default: BENCH_localize.json; pass '' to skip)",
     )
     add_obs_ledger_arg(obs_slo)
+
+    obs_trace = obs_sub.add_parser(
+        "trace",
+        help="reconstruct one request's span tree from an NDJSON export",
+    )
+    obs_trace.add_argument(
+        "trace_id",
+        help="trace id (or unique prefix) from a response body, "
+        "traceparent header or access-log line",
+    )
+    obs_trace.add_argument(
+        "export",
+        help="span NDJSON written by --trace or observed() export",
+    )
+
+    obs_top = obs_sub.add_parser(
+        "top",
+        help="live dashboard over the service's NDJSON access log",
+    )
+    obs_top.add_argument(
+        "access_log",
+        help="the service's --access-log NDJSON file",
+    )
+    obs_top.add_argument(
+        "--url",
+        metavar="URL",
+        default=None,
+        help="service base URL; when set, each frame also polls "
+        "/v1/stats for batcher occupancy, cache hit ratio and pool "
+        "warmth",
+    )
+    obs_top.add_argument(
+        "--window", type=float, default=60.0, metavar="S",
+        help="sliding window the rates cover (default: 60 s)",
+    )
+    obs_top.add_argument(
+        "--interval", type=float, default=1.0, metavar="S",
+        help="refresh interval (default: 1 s)",
+    )
+    obs_top.add_argument(
+        "--once",
+        action="store_true",
+        help="render one frame without clearing the screen and exit "
+        "(scripting/CI mode)",
+    )
     obs.set_defaults(func=cmd_obs)
 
     def add_service_flags(command: argparse.ArgumentParser) -> None:
@@ -765,6 +860,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="append one NDJSON line per request to PATH",
     )
     serve.add_argument(
+        "--access-log-max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="rotate the access log to PATH.1 when it would exceed N "
+        "bytes (default: 16 MiB)",
+    )
+    serve.add_argument(
         "--no-prewarm",
         action="store_true",
         help="build scenarios lazily on first request instead of at "
@@ -805,6 +908,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default="BENCH_service.json",
         help="write the latency summary here (default: "
         "BENCH_service.json; pass '' to skip)",
+    )
+    lt.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="after the run, scrape GET /metrics and write the "
+        "OpenMetrics exposition to PATH",
+    )
+    lt.add_argument(
+        "--access-log",
+        metavar="PATH",
+        default=None,
+        help="with --self-host: write the server's NDJSON access log "
+        "to PATH (feeds `repro obs top`)",
     )
     add_service_flags(lt)
     add_obs_flags(lt)

@@ -497,6 +497,7 @@ METRIC_NAMESPACES: Set[str] = {
     "obs",
     "peaks",
     "service",
+    "telemetry",
 }
 
 _METRIC_FACTORIES: Set[str] = {"counter", "gauge", "histogram"}
@@ -904,6 +905,71 @@ class DirectSharedMemory(Rule):
 
 
 # ---------------------------------------------------------------------------
+# RPR012 -- service request handlers must open a trace-carrying span
+# ---------------------------------------------------------------------------
+
+
+class UntracedServiceHandler(Rule):
+    """RPR012: a service request handler without a trace_id-bearing span."""
+
+    id = "RPR012"
+    title = "service request handler does not open a span with a trace_id"
+    rationale = (
+        "Every HTTP handler anchors its request's distributed trace: "
+        "the span it opens with an explicit trace_id= is what makes "
+        "`repro obs trace <id>` reconstruct the request and what feeds "
+        "the /metrics exemplars.  A handler that skips it (or lets the "
+        "tracer invent a fresh root id) produces orphaned spans that "
+        "no response trace_id can find."
+    )
+    scopes = None
+
+    #: Handlers this rule covers, by (path suffix, name prefix).
+    handler_files: Tuple[str, ...] = ("repro/service/app.py",)
+    handler_prefix = "handle_"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        rel = ctx.rel.replace("\\", "/")
+        if not any(rel.endswith(f) for f in self.handler_files):
+            return False
+        return super().applies_to(ctx)
+
+    def _opens_traced_span(self, func: ast.AST) -> bool:
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            # Match any `<expr>.span(...)` -- the receiver is often a
+            # call chain (`get_observer().span(...)`), which a dotted
+            # name match would miss.
+            if not (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "span"
+            ):
+                continue
+            if any(kw.arg == "trace_id" for kw in node.keywords):
+                return True
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            if not node.name.startswith(self.handler_prefix):
+                continue
+            if not self._opens_traced_span(node):
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"{qualname(ctx, node)} handles a service request "
+                    f"but never opens a span with an explicit "
+                    f"trace_id= -- its spans would be orphaned from "
+                    f"the request's trace",
+                )
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -919,6 +985,7 @@ ALL_RULES = (
     MagicBleConstant,
     MissingThreadSafetyTag,
     DirectSharedMemory,
+    UntracedServiceHandler,
 )
 
 

@@ -42,9 +42,12 @@ from repro.obs.export import (
     format_table,
     load_ndjson,
     metrics_summary,
+    render_trace,
+    resolve_trace_id,
     span_summary,
     speedscope_document,
     summary,
+    trace_spans,
 )
 from repro.obs.health import (
     AnchorHealthMonitor,
@@ -66,12 +69,19 @@ from repro.obs.ledger import (
 from repro.obs.metrics import (
     COUNT_BUCKETS,
     Counter,
+    Exemplar,
     Gauge,
     Histogram,
     LATENCY_BUCKETS_S,
     MetricsRegistry,
 )
 from repro.obs.prof import ProfileReport, SamplingProfiler
+from repro.obs.promexport import (
+    OPENMETRICS_CONTENT_TYPE,
+    exemplar_trace_ids,
+    parse_exposition,
+    render_openmetrics,
+)
 from repro.obs.slo import (
     SloResult,
     SloRule,
@@ -81,13 +91,31 @@ from repro.obs.slo import (
     render_slo_results,
     slo_exit_code,
 )
-from repro.obs.trace import Span, SpanHandle, Tracer
+from repro.obs.top import (
+    AccessLogTail,
+    TopFrame,
+    build_frame,
+    read_access_records,
+    render_frame,
+    run_top,
+)
+from repro.obs.trace import (
+    Span,
+    SpanHandle,
+    TraceContext,
+    Tracer,
+    format_traceparent,
+    new_trace_id,
+    parse_traceparent,
+)
 
 __all__ = [
+    "AccessLogTail",
     "AnchorHealthMonitor",
     "AnomalyEvent",
     "COUNT_BUCKETS",
     "Counter",
+    "Exemplar",
     "FixBundle",
     "FixDiagnostics",
     "FixDiagnosticsBuilder",
@@ -96,6 +124,7 @@ __all__ = [
     "Histogram",
     "LATENCY_BUCKETS_S",
     "MetricsRegistry",
+    "OPENMETRICS_CONTENT_TYPE",
     "Observability",
     "ProfileReport",
     "RunLedger",
@@ -107,36 +136,51 @@ __all__ = [
     "SloSpec",
     "Span",
     "SpanHandle",
+    "TopFrame",
+    "TraceContext",
     "Tracer",
+    "build_frame",
     "build_run_record",
     "bundle_filename",
     "bundle_from_fix",
     "default_ledger_path",
     "diff_records",
     "evaluate_slos",
+    "exemplar_trace_ids",
     "export_folded",
     "export_ndjson",
     "export_speedscope",
     "fingerprint_of",
     "folded_stacks",
     "format_table",
+    "format_traceparent",
     "get_observer",
     "install",
     "load_fix_bundle",
     "load_ndjson",
     "load_slo_spec",
     "metrics_summary",
+    "new_trace_id",
     "observed",
+    "parse_exposition",
+    "parse_traceparent",
+    "read_access_records",
     "render_bundle",
     "render_diff",
+    "render_frame",
+    "render_openmetrics",
     "render_report",
     "render_runs",
     "render_slo_results",
+    "render_trace",
+    "resolve_trace_id",
+    "run_top",
     "save_fix_bundle",
     "slo_exit_code",
     "span_quantiles",
     "span_summary",
     "speedscope_document",
     "summary",
+    "trace_spans",
     "traced",
 ]

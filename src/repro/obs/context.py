@@ -98,11 +98,21 @@ class Observability:
         self.tracer = Tracer(**({"clock": clock} if clock else {}))
         self.metrics = MetricsRegistry()
 
-    def span(self, name: str, **attributes: Any):
-        """A span context manager (no-op when disabled)."""
+    def span(
+        self,
+        name: str,
+        *,
+        trace_id: Optional[str] = None,
+        **attributes: Any,
+    ):
+        """A span context manager (no-op when disabled).
+
+        ``trace_id`` pins the span to an existing request trace; omitted,
+        the tracer inherits the parent's (or ambient) trace id.
+        """
         if not self.enabled:
             return _NOOP_SPAN
-        return self.tracer.span(name, **attributes)
+        return self.tracer.span(name, trace_id=trace_id, **attributes)
 
     def preregister(self) -> "Observability":
         """Create every standard instrument up front; returns self."""

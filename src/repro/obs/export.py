@@ -5,8 +5,8 @@ NDJSON schema (one JSON object per line, strict JSON -- no NaN/Inf):
 * ``{"type": "meta", "format": "repro-obs", "version": 1, ...}`` --
   always the first line.
 * ``{"type": "span", "name", "span_id", "parent_id", "depth",
-  "start_s", "duration_s", "status", "thread", "attributes"}`` -- one
-  per finished span, completion order.
+  "start_s", "duration_s", "status", "thread", "trace_id",
+  "attributes"}`` -- one per finished span, completion order.
 * counter / gauge / histogram lines exactly as produced by
   :meth:`repro.obs.metrics.MetricsRegistry.snapshot` (histograms carry
   ``count/sum/min/max/mean/p50/p95`` plus the full ``le`` bucket list).
@@ -22,7 +22,7 @@ from __future__ import annotations
 import json
 import math
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, List, Sequence, Union
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -96,6 +96,7 @@ def span_record(span: Span) -> dict:
         "duration_s": _json_safe(span.duration_s),
         "status": span.status,
         "thread": span.thread,
+        "trace_id": span.trace_id,
         "attributes": _json_safe(span.attributes),
     }
 
@@ -244,6 +245,154 @@ def summary(observer: Observability) -> str:
         metrics_summary(observer.metrics),
     ]
     return "\n".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Trace reconstruction (repro obs trace <trace_id>)
+# ---------------------------------------------------------------------------
+
+
+def resolve_trace_id(records: Sequence[dict], prefix: str) -> str:
+    """Resolve a (possibly abbreviated) trace id against an export.
+
+    An exact match wins; otherwise a unique prefix match is accepted, so
+    ``repro obs trace 3f2a`` works on the ids a dashboard shows
+    truncated.
+
+    Raises:
+        ValueError: when no span matches or the prefix is ambiguous.
+    """
+    ids = {
+        r["trace_id"]
+        for r in records
+        if r.get("type") == "span" and r.get("trace_id")
+    }
+    if prefix in ids:
+        return prefix
+    hits = sorted(i for i in ids if i.startswith(prefix))
+    if len(hits) == 1:
+        return hits[0]
+    if not hits:
+        raise ValueError(f"no span with trace id {prefix!r} in export")
+    shown = ", ".join(h[:12] for h in hits[:5])
+    raise ValueError(
+        f"trace id prefix {prefix!r} is ambiguous ({shown}...)"
+    )
+
+
+def trace_spans(records: Sequence[dict], trace_id: str) -> List[dict]:
+    """Span records belonging to one trace, plus linked batch subtrees.
+
+    Selects every span whose ``trace_id`` matches, then follows span
+    *links*: a micro-batch span executed on behalf of several requests
+    carries their trace ids in a ``member_trace_ids`` attribute, so the
+    batch span -- and its whole subtree (the ``locate_batch`` stages,
+    including absorbed process-worker spans) -- is grafted into each
+    member's reconstruction even though it lives on its own trace.
+    """
+    spans = [r for r in records if r.get("type") == "span"]
+    selected: Dict[int, dict] = {
+        r["span_id"]: r for r in spans if r.get("trace_id") == trace_id
+    }
+    children: Dict[int, List[dict]] = {}
+    for r in spans:
+        parent = r.get("parent_id")
+        if parent is not None:
+            children.setdefault(parent, []).append(r)
+    queue = [
+        r
+        for r in spans
+        if r["span_id"] not in selected
+        and trace_id
+        in ((r.get("attributes") or {}).get("member_trace_ids") or [])
+    ]
+    while queue:
+        r = queue.pop()
+        if r["span_id"] in selected:
+            continue
+        selected[r["span_id"]] = r
+        queue.extend(children.get(r["span_id"], []))
+    return list(selected.values())
+
+
+def _span_sort_key(record: dict) -> Tuple[float, int]:
+    start = record.get("start_s")
+    if not isinstance(start, (int, float)):
+        start = float("inf")
+    return (start, record.get("span_id", 0))
+
+
+def render_trace(records: Sequence[dict], trace_id: str) -> str:
+    """Text tree of one request's spans from an NDJSON export.
+
+    Spans of the trace itself nest by ``parent_id``; linked batch
+    subtrees (see :func:`trace_spans`) appear under their own roots
+    marked with the trace they ran on.  Cross-thread and cross-process
+    children show the thread name that ran them.
+    """
+    selected = trace_spans(records, trace_id)
+    if not selected:
+        return f"(no spans for trace {trace_id})"
+    by_id = {r["span_id"]: r for r in selected}
+    children: Dict[int, List[dict]] = {}
+    roots: List[dict] = []
+    for r in selected:
+        parent = r.get("parent_id")
+        if parent is not None and parent in by_id:
+            children.setdefault(parent, []).append(r)
+        else:
+            roots.append(r)
+    for siblings in children.values():
+        siblings.sort(key=_span_sort_key)
+    roots.sort(key=_span_sort_key)
+
+    def describe(r: dict) -> str:
+        duration = r.get("duration_s")
+        if isinstance(duration, (int, float)):
+            timing = f"{duration * 1e3:.2f} ms"
+        else:
+            timing = "-"
+        parts = [r.get("name", "?"), timing, str(r.get("status", "?"))]
+        thread = r.get("thread")
+        if thread:
+            parts.append(f"[{thread}]")
+        attributes = r.get("attributes") or {}
+        shown = []
+        for key in sorted(attributes):
+            if key == "member_trace_ids":
+                continue
+            value = attributes[key]
+            if isinstance(value, (list, dict)):
+                continue
+            shown.append(f"{key}={value}")
+        if shown:
+            text = " ".join(shown)
+            if len(text) > 72:
+                text = text[:69] + "..."
+            parts.append(text)
+        if r.get("trace_id") and r["trace_id"] != trace_id:
+            parent = r.get("parent_id")
+            if parent is None or parent not in by_id:
+                parts.append(f"(linked trace {r['trace_id'][:12]})")
+        return "  ".join(parts)
+
+    threads = {r.get("thread") for r in selected if r.get("thread")}
+    lines = [
+        f"trace {trace_id}: {len(selected)} spans, "
+        f"{len(threads)} thread(s)"
+    ]
+
+    def walk(r: dict, prefix: str, is_last: bool) -> None:
+        connector = "`- " if is_last else "|- "
+        lines.append(prefix + connector + describe(r))
+        child_prefix = prefix + ("   " if is_last else "|  ")
+        kids = children.get(r["span_id"], [])
+        for i, kid in enumerate(kids):
+            walk(kid, child_prefix, i == len(kids) - 1)
+
+    for i, root in enumerate(roots):
+        walk(root, "", i == len(roots) - 1)
+    return "\n".join(lines)
 
 
 # ---------------------------------------------------------------------------

@@ -18,11 +18,43 @@ from __future__ import annotations
 import bisect
 import math
 import threading
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+import time
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.errors import ConfigurationError
 
 Number = Union[int, float]
+
+
+class Exemplar(NamedTuple):
+    """One sampled observation kept alongside a histogram bucket.
+
+    Prometheus-style exemplars: the most recent observation in a bucket
+    that carried a ``trace_id``, so a latency bucket on a dashboard
+    links straight to a concrete request trace.
+
+    Attributes:
+        value: the observed value.
+        trace_id: the request trace the observation belongs to.
+        ts: unix timestamp of the observation.
+    """
+
+    value: float
+    trace_id: str
+    ts: float
+
+    def to_dict(self) -> dict:
+        """Plain-data view for export."""
+        return {"value": self.value, "trace_id": self.trace_id, "ts": self.ts}
 
 #: Default histogram buckets for durations in seconds (1 ms .. 10 s).
 LATENCY_BUCKETS_S: Tuple[float, ...] = (
@@ -138,6 +170,7 @@ class Histogram:
         self.name = name
         self.edges = edges
         self._counts = [0] * (len(edges) + 1)  # +1 for the +inf overflow
+        self._exemplars: List[Optional[Exemplar]] = [None] * (len(edges) + 1)
         self._count = 0
         self._sum = 0.0
         self._min = float("inf")
@@ -164,8 +197,15 @@ class Histogram:
         """Largest observation (-inf before the first observe)."""
         return self._max
 
-    def observe(self, value: Number) -> None:
-        """Record one observation (thread-safe)."""
+    def observe(
+        self, value: Number, trace_id: Optional[str] = None
+    ) -> None:
+        """Record one observation (thread-safe).
+
+        When ``trace_id`` is given, the observation also becomes the
+        bucket's :class:`Exemplar` (last writer wins), linking the
+        bucket to a concrete request trace in the exposition.
+        """
         v = float(value)
         if math.isnan(v):
             raise ConfigurationError(
@@ -180,11 +220,23 @@ class Histogram:
                 self._min = v
             if v > self._max:
                 self._max = v
+            if trace_id:
+                self._exemplars[idx] = Exemplar(
+                    value=v, trace_id=trace_id, ts=time.time()
+                )
 
     def bucket_counts(self) -> List[int]:
         """Per-bucket counts (last entry is the +inf overflow bucket)."""
         with self._lock:
             return list(self._counts)
+
+    def exemplars(self) -> List[Optional[Exemplar]]:
+        """Per-bucket exemplars, parallel to :meth:`bucket_counts`.
+
+        Thread-safety: copied under the instrument lock.
+        """
+        with self._lock:
+            return list(self._exemplars)
 
     def merge(self, other: "Histogram") -> None:
         """Fold another histogram's observations into this one.
@@ -201,6 +253,7 @@ class Histogram:
             )
         with other._lock:
             counts = list(other._counts)
+            exemplars = list(other._exemplars)
             count = other._count
             total = other._sum
             lo, hi = other._min, other._max
@@ -214,6 +267,12 @@ class Histogram:
                 self._min = lo
             if hi > self._max:
                 self._max = hi
+            for i, exemplar in enumerate(exemplars):
+                if exemplar is None:
+                    continue
+                mine = self._exemplars[i]
+                if mine is None or exemplar.ts >= mine.ts:
+                    self._exemplars[i] = exemplar
 
     def merge_snapshot(self, item: dict) -> None:
         """Fold a plain-data :meth:`snapshot` into this histogram.
@@ -241,6 +300,19 @@ class Histogram:
         if count == 0:
             return
         counts = [int(b.get("count") or 0) for b in buckets]
+        exemplars: List[Optional[Exemplar]] = []
+        for bucket in buckets:
+            raw = bucket.get("exemplar")
+            if raw:
+                exemplars.append(
+                    Exemplar(
+                        value=float(raw["value"]),
+                        trace_id=str(raw["trace_id"]),
+                        ts=float(raw.get("ts") or 0.0),
+                    )
+                )
+            else:
+                exemplars.append(None)
         total = float(item.get("sum") or 0.0)
         lo = float(item["min"]) if item.get("min") is not None else float("inf")
         hi = float(item["max"]) if item.get("max") is not None else float("-inf")
@@ -252,6 +324,12 @@ class Histogram:
                 self._min = lo
             if hi > self._max:
                 self._max = hi
+            for i, exemplar in enumerate(exemplars):
+                if exemplar is None:
+                    continue
+                mine = self._exemplars[i]
+                if mine is None or exemplar.ts >= mine.ts:
+                    self._exemplars[i] = exemplar
 
     def mean(self) -> float:
         """Mean of the observations (NaN when empty)."""
@@ -291,13 +369,15 @@ class Histogram:
         """Plain-data view for export (includes p50/p95 estimates)."""
         with self._lock:
             counts = list(self._counts)
+            exemplars = list(self._exemplars)
             count, total = self._count, self._sum
             lo, hi = self._min, self._max
-        buckets = [
-            {"le": edge, "count": counts[i]}
-            for i, edge in enumerate(self.edges)
-        ]
-        buckets.append({"le": "inf", "count": counts[-1]})
+        buckets = []
+        for i, edge in enumerate(list(self.edges) + ["inf"]):
+            bucket: dict = {"le": edge, "count": counts[i]}
+            if exemplars[i] is not None:
+                bucket["exemplar"] = exemplars[i].to_dict()
+            buckets.append(bucket)
         return {
             "type": "histogram",
             "name": self.name,

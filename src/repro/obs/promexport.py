@@ -1,0 +1,255 @@
+"""Prometheus/OpenMetrics text exposition for the metrics registry.
+
+Renders a :class:`~repro.obs.metrics.MetricsRegistry` into the
+OpenMetrics text format (the ``GET /metrics`` wire format Prometheus
+scrapes), with **exemplars** on histogram buckets: the most recent
+observation in a bucket that carried a ``trace_id`` is emitted as
+
+    name_bucket{le="0.25"} 17 # {trace_id="3f2a..."} 0.231 1690000000.0
+
+so a slow bucket on a dashboard links straight to one concrete request
+trace in the span NDJSON export.
+
+Rendering rules (the subset of the spec this registry needs):
+
+* metric names are sanitised to ``[a-zA-Z_:][a-zA-Z0-9_:]*`` (dots in
+  registry names become underscores);
+* counters are exposed as ``<name>_total`` with a ``# TYPE`` counter
+  line (a registry name already ending in ``_total`` is not doubled);
+* gauges that were never set (NaN) are skipped entirely -- an unset
+  gauge is an absent sample, not a NaN on the wire;
+* histograms emit *cumulative* ``le`` buckets (the registry stores
+  per-bucket counts), a ``+Inf`` bucket equal to ``_count``, and
+  ``_sum`` / ``_count`` samples;
+* the exposition ends with ``# EOF`` as OpenMetrics requires.
+
+:func:`parse_exposition` is the inverse used by tests and the CI smoke
+to assert the endpoint's output round-trips and its exemplar trace ids
+resolve against the exported spans.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, NamedTuple, Optional
+
+from repro.obs.metrics import Exemplar, Histogram, MetricsRegistry
+
+#: Content-Type a /metrics response should carry for this exposition.
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+_NAME_SANITISE = re.compile(r"[^a-zA-Z0-9_:]")
+
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s#]+)"
+    r"(?:\s+(?P<ts>[0-9.eE+-]+))?"
+    r"(?:\s*#\s*\{(?P<exlabels>[^}]*)\}"
+    r"\s+(?P<exvalue>[^\s]+)(?:\s+(?P<exts>[0-9.eE+-]+))?)?\s*$"
+)
+
+_LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def metric_name(name: str) -> str:
+    """Sanitise a registry instrument name for the exposition."""
+    cleaned = _NAME_SANITISE.sub("_", name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def _format_le(edge: float) -> str:
+    """Bucket bound label: integral edges render without the trailing .0."""
+    if float(edge).is_integer():
+        return str(int(edge))
+    return repr(float(edge))
+
+
+def _exemplar_suffix(exemplar: Optional[Exemplar]) -> str:
+    if exemplar is None:
+        return ""
+    return (
+        f' # {{trace_id="{exemplar.trace_id}"}} '
+        f"{_format_value(exemplar.value)} {exemplar.ts:.3f}"
+    )
+
+
+def _render_histogram(histogram: Histogram, lines: List[str]) -> None:
+    base = metric_name(histogram.name)
+    lines.append(f"# TYPE {base} histogram")
+    counts = histogram.bucket_counts()
+    exemplars = histogram.exemplars()
+    cumulative = 0
+    for i, edge in enumerate(histogram.edges):
+        cumulative += counts[i]
+        lines.append(
+            f'{base}_bucket{{le="{_format_le(edge)}"}} {cumulative}'
+            + _exemplar_suffix(exemplars[i])
+        )
+    cumulative += counts[-1]
+    lines.append(
+        f'{base}_bucket{{le="+Inf"}} {cumulative}'
+        + _exemplar_suffix(exemplars[-1])
+    )
+    lines.append(f"{base}_sum {_format_value(histogram.sum)}")
+    lines.append(f"{base}_count {histogram.count}")
+
+
+def render_openmetrics(registry: MetricsRegistry) -> str:
+    """The OpenMetrics text exposition of every instrument in ``registry``.
+
+    Instruments render in name order (the registry's iteration order),
+    one ``# TYPE`` family header each; the document terminates with
+    ``# EOF``.  The output is strict ASCII and parses back through
+    :func:`parse_exposition`.
+    """
+    lines: List[str] = []
+    for instrument in registry.instruments():
+        if instrument.kind == "counter":
+            base = metric_name(instrument.name)
+            if base.endswith("_total"):
+                base = base[: -len("_total")]
+            lines.append(f"# TYPE {base} counter")
+            lines.append(f"{base}_total {_format_value(instrument.value)}")
+        elif instrument.kind == "gauge":
+            if math.isnan(instrument.value):
+                continue
+            base = metric_name(instrument.name)
+            lines.append(f"# TYPE {base} gauge")
+            lines.append(f"{base} {_format_value(instrument.value)}")
+        else:
+            _render_histogram(instrument, lines)
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+class Sample(NamedTuple):
+    """One parsed exposition sample line.
+
+    Attributes:
+        name: full sample name (e.g. ``service_latency_s_bucket``).
+        labels: label set (e.g. ``{"le": "0.25"}``).
+        value: sample value.
+        exemplar: ``{"labels": {...}, "value": float, "ts": float|None}``
+            when the line carried one, else None.
+    """
+
+    name: str
+    labels: Dict[str, str]
+    value: float
+    exemplar: Optional[dict]
+
+
+class ParsedFamily(NamedTuple):
+    """One metric family from a parsed exposition."""
+
+    name: str
+    type: str
+    samples: List[Sample]
+
+
+def _parse_value(text: str) -> float:
+    lowered = text.lower()
+    if lowered in ("+inf", "inf"):
+        return float("inf")
+    if lowered == "-inf":
+        return float("-inf")
+    if lowered == "nan":
+        return float("nan")
+    return float(text)
+
+
+def parse_exposition(text: str) -> Dict[str, ParsedFamily]:
+    """Parse an OpenMetrics text document back into metric families.
+
+    Covers the subset :func:`render_openmetrics` emits (no escaping in
+    label values beyond ``\\"``).  Strictness is the point -- this is
+    the CI assertion that ``GET /metrics`` serves valid text format:
+
+    Raises:
+        ValueError: on an unparseable line, a sample preceding any
+            ``# TYPE`` header, or a missing ``# EOF`` terminator.
+    """
+    families: Dict[str, ParsedFamily] = {}
+    current: Optional[ParsedFamily] = None
+    saw_eof = False
+    for line_number, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line:
+            continue
+        if saw_eof:
+            raise ValueError(f"line {line_number}: content after # EOF")
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                raise ValueError(
+                    f"line {line_number}: malformed TYPE line: {raw!r}"
+                )
+            _, _, name, kind = parts
+            current = families.setdefault(
+                name, ParsedFamily(name=name, type=kind, samples=[])
+            )
+            continue
+        if line.startswith("#"):
+            # HELP/UNIT lines are legal; this renderer never emits them.
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(
+                f"line {line_number}: malformed sample line: {raw!r}"
+            )
+        if current is None:
+            raise ValueError(
+                f"line {line_number}: sample before any # TYPE header"
+            )
+        labels = dict(_LABEL_PAIR.findall(match.group("labels") or ""))
+        exemplar = None
+        if match.group("exlabels") is not None:
+            exemplar = {
+                "labels": dict(
+                    _LABEL_PAIR.findall(match.group("exlabels"))
+                ),
+                "value": _parse_value(match.group("exvalue")),
+                "ts": (
+                    float(match.group("exts"))
+                    if match.group("exts")
+                    else None
+                ),
+            }
+        current.samples.append(
+            Sample(
+                name=match.group("name"),
+                labels=labels,
+                value=_parse_value(match.group("value")),
+                exemplar=exemplar,
+            )
+        )
+    if not saw_eof:
+        raise ValueError("exposition does not terminate with # EOF")
+    return families
+
+
+def exemplar_trace_ids(text: str) -> List[str]:
+    """Every distinct exemplar ``trace_id`` in an exposition, sorted."""
+    ids = set()
+    for family in parse_exposition(text).values():
+        for sample in family.samples:
+            if sample.exemplar:
+                trace_id = sample.exemplar["labels"].get("trace_id")
+                if trace_id:
+                    ids.add(trace_id)
+    return sorted(ids)

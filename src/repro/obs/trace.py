@@ -19,9 +19,74 @@ from __future__ import annotations
 import itertools
 import threading
 import time
+import uuid
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, NamedTuple, Optional, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Union,
+)
+
+from repro.errors import ConfigurationError
+
+#: Version prefix emitted in ``traceparent`` headers (W3C trace-context).
+TRACEPARENT_VERSION = "00"
+
+_TRACE_ID_LEN = 32
+_SPAN_ID_LEN = 16
+_HEX_DIGITS = frozenset("0123456789abcdef")
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex-char trace id (random, W3C-trace-context shaped)."""
+    return uuid.uuid4().hex
+
+
+def _is_hex(text: str) -> bool:
+    return bool(text) and all(ch in _HEX_DIGITS for ch in text.lower())
+
+
+def format_traceparent(trace_id: str, span_id: int = 0) -> str:
+    """Render a W3C ``traceparent`` header value for ``trace_id``.
+
+    ``span_id`` (the tracer's integer span id) becomes the 16-hex-char
+    parent-id field, truncated to 64 bits; 0 renders as all zeros, which
+    consumers treat as "trace known, parent span unknown".
+    """
+    parent = format(span_id & ((1 << 64) - 1), "016x")
+    return f"{TRACEPARENT_VERSION}-{trace_id}-{parent}-01"
+
+
+def parse_traceparent(header: Optional[str]) -> Optional[str]:
+    """Extract the trace id from a ``traceparent`` header, or None.
+
+    Accepts any ``<ver>-<trace_id>-<parent_id>-<flags>`` value with a
+    well-formed 32-hex trace id (not all zeros).  Malformed headers are
+    rejected (None) rather than raised: an inbound request with a bad
+    header simply starts a fresh trace.
+    """
+    if not header:
+        return None
+    parts = header.strip().split("-")
+    if len(parts) < 4:
+        return None
+    version, trace_id, parent_id = parts[0], parts[1], parts[2]
+    if len(version) != 2 or not _is_hex(version) or version.lower() == "ff":
+        return None
+    trace_id = trace_id.lower()
+    if len(trace_id) != _TRACE_ID_LEN or not _is_hex(trace_id):
+        return None
+    if trace_id == "0" * _TRACE_ID_LEN:
+        return None
+    if len(parent_id) != _SPAN_ID_LEN or not _is_hex(parent_id):
+        return None
+    return trace_id
 
 
 class SpanHandle(NamedTuple):
@@ -29,15 +94,37 @@ class SpanHandle(NamedTuple):
 
     A :class:`Span` object is bound to the tracer and thread that opened
     it; a handle carries just the identity (``span_id``), tree position
-    (``depth``) and ``name`` -- everything a worker (thread today, a
-    process-pool child tomorrow) needs to parent its own spans under the
-    originating span without sharing the object itself.  See
-    :meth:`Tracer.attached`, which accepts handles directly.
+    (``depth``), ``name`` and ``trace_id`` -- everything a worker
+    (thread or process-pool child) needs to parent its own spans under
+    the originating span without sharing the object itself.  See
+    :meth:`Tracer.attached`, which accepts handles directly.  The
+    ``trace_id`` field defaults to ``""`` so pre-trace-context triples
+    still construct.
     """
 
     span_id: int
     depth: int
     name: str
+    trace_id: str = ""
+
+
+class TraceContext(NamedTuple):
+    """Picklable identity of one request's trace, for propagation.
+
+    Carries the ``trace_id`` plus (optionally) the handle of the span
+    that should parent remote work.  Ship one of these across a thread
+    or process boundary and enter ``tracer.attached(context)`` on the
+    far side: spans opened inside inherit both the tree position and
+    the trace id.
+    """
+
+    trace_id: str
+    parent: Optional[SpanHandle] = None
+
+    def traceparent(self) -> str:
+        """The W3C ``traceparent`` header value for this context."""
+        parent_id = self.parent.span_id if self.parent is not None else 0
+        return format_traceparent(self.trace_id, parent_id)
 
 
 @dataclass
@@ -55,6 +142,8 @@ class Span:
         status: ``"ok"`` or ``"error:<ExceptionType>"`` when the body
             raised.
         thread: name of the thread that ran the span.
+        trace_id: 32-hex request-trace id shared by every span in one
+            logical request (``""`` on spans predating trace context).
     """
 
     name: str
@@ -66,6 +155,7 @@ class Span:
     attributes: Dict[str, Any] = field(default_factory=dict)
     status: str = "open"
     thread: str = ""
+    trace_id: str = ""
 
     @property
     def duration_s(self) -> float:
@@ -80,8 +170,15 @@ class Span:
     def handle(self) -> SpanHandle:
         """A picklable :class:`SpanHandle` for cross-worker propagation."""
         return SpanHandle(
-            span_id=self.span_id, depth=self.depth, name=self.name
+            span_id=self.span_id,
+            depth=self.depth,
+            name=self.name,
+            trace_id=self.trace_id,
         )
+
+    def context(self) -> TraceContext:
+        """A :class:`TraceContext` parenting remote work under this span."""
+        return TraceContext(trace_id=self.trace_id, parent=self.handle())
 
 
 class _SpanContext:
@@ -127,6 +224,10 @@ class Tracer:
         self._local = threading.local()
         self._lock = threading.Lock()
         self._finished: List[Span] = []
+        # Ids of every span this tracer has collected (own or absorbed),
+        # kept so absorb() can reject offset-contract violations instead
+        # of silently corrupting the exported tree.
+        self._seen_ids: set = set()
         # Thread ident -> (thread name, that thread's live stack list).
         # Registered once per thread (on first _stack()) and never
         # removed: a registered list is aliased by the owning thread's
@@ -147,10 +248,28 @@ class Tracer:
                 )
         return stack
 
-    def span(self, name: str, **attributes: Any) -> _SpanContext:
-        """Open a span as a child of the current thread's active span."""
+    def span(
+        self,
+        name: str,
+        *,
+        trace_id: Optional[str] = None,
+        **attributes: Any,
+    ) -> _SpanContext:
+        """Open a span as a child of the current thread's active span.
+
+        The span's ``trace_id`` resolves in priority order: the explicit
+        ``trace_id`` keyword, the parent span's trace id, the thread's
+        ambient trace (see :meth:`trace`), else -- for root spans only --
+        a freshly generated id, so every span always belongs to exactly
+        one trace.
+        """
         stack = self._stack()
         parent = stack[-1] if stack else None
+        if trace_id is None:
+            if parent is not None and parent.trace_id:
+                trace_id = parent.trace_id
+            else:
+                trace_id = getattr(self._local, "trace", "") or new_trace_id()
         span = Span(
             name=name,
             span_id=next(self._ids),
@@ -162,9 +281,25 @@ class Tracer:
             start_s=self.clock(),
             attributes=dict(attributes),
             thread=threading.current_thread().name,
+            trace_id=trace_id,
         )
         stack.append(span)
         return _SpanContext(self, span)
+
+    @contextmanager
+    def trace(self, trace_id: str) -> Iterator[None]:
+        """Make ``trace_id`` the thread's ambient trace for a block.
+
+        Root spans opened inside adopt it instead of generating a fresh
+        id; nested spans keep inheriting from their parents as usual.
+        Nesting restores the previous ambient trace on exit.
+        """
+        previous = getattr(self._local, "trace", "")
+        self._local.trace = trace_id
+        try:
+            yield
+        finally:
+            self._local.trace = previous
 
     def _finish(self, span: Span) -> None:
         span.end_s = self.clock()
@@ -178,6 +313,7 @@ class Tracer:
             stack.remove(span)
         with self._lock:
             self._finished.append(span)
+            self._seen_ids.add(span.span_id)
 
     def active(self) -> Optional[Span]:
         """The current thread's innermost open span."""
@@ -208,7 +344,9 @@ class Tracer:
         return snapshot
 
     @contextmanager
-    def attached(self, parent: Optional[Union[Span, SpanHandle]]):
+    def attached(
+        self, parent: Optional[Union[Span, SpanHandle, TraceContext]]
+    ):
         """Adopt ``parent`` as this thread's active span for a block.
 
         The active-span stack is thread-local, so work handed to a pool
@@ -223,13 +361,27 @@ class Tracer:
 
         ``parent`` may also be a :class:`SpanHandle` (see
         :meth:`Span.handle`): the handle is materialised as a borrowed
-        placeholder span carrying the original id and depth, so the
-        caller only needs to ship a picklable triple across the worker
-        boundary -- the contract a process-pool backend relies on.
+        placeholder span carrying the original id, depth and trace id,
+        so the caller only needs to ship a picklable tuple across the
+        worker boundary -- the contract the process-pool backend relies
+        on.  Spans opened under the placeholder inherit its
+        ``trace_id``, which is how one request trace crosses thread and
+        process boundaries.  A :class:`TraceContext` is also accepted:
+        its parent handle (if any) is attached and its ``trace_id``
+        becomes the block's ambient trace (see :meth:`trace`), covering
+        the parentless "same trace, new subtree" case.
         """
         if parent is None:
             yield
             return
+        trace_seed = ""
+        if isinstance(parent, TraceContext):
+            trace_seed = parent.trace_id
+            parent = parent.parent
+            if parent is None:
+                with self.trace(trace_seed):
+                    yield
+                return
         if isinstance(parent, SpanHandle):
             # Borrowed placeholder: same id/depth as the original, never
             # finished or collected here (status stays "borrowed").
@@ -240,6 +392,7 @@ class Tracer:
                 depth=parent.depth,
                 start_s=float("nan"),
                 status="borrowed",
+                trace_id=parent.trace_id or trace_seed,
             )
         stack = self._stack()
         stack.append(parent)
@@ -259,14 +412,40 @@ class Tracer:
         The process-pool backend runs each worker with its own tracer at
         a disjoint ``id_offset``; the finished spans come back pickled
         and are folded into this tracer's collection here, so one export
-        covers the whole cross-process sweep.  The caller guarantees id
-        disjointness (via the offset contract) -- absorb does not
-        renumber.
+        covers the whole cross-process sweep.  Absorb never renumbers --
+        the offset contract is the caller's to honour -- but it does
+        *verify* it: a span id already collected (own or previously
+        absorbed) raises :class:`~repro.errors.ConfigurationError`
+        naming the colliding ids, and the batch is rejected atomically
+        (nothing is absorbed), so a mis-offset worker corrupts nothing.
 
-        Thread-safety: appends under the tracer lock.
+        Thread-safety: checks and appends under the tracer lock.
+
+        Raises:
+            ConfigurationError: if any incoming ``span_id`` collides
+                with an already-collected span or with another span in
+                ``spans``.
         """
         with self._lock:
+            colliding = sorted(
+                {s.span_id for s in spans} & self._seen_ids
+            )
+            incoming = [s.span_id for s in spans]
+            if len(set(incoming)) != len(incoming):
+                duplicates = sorted(
+                    {i for i in incoming if incoming.count(i) > 1}
+                )
+                colliding = sorted(set(colliding) | set(duplicates))
+            if colliding:
+                shown = ", ".join(str(i) for i in colliding[:5])
+                raise ConfigurationError(
+                    "absorb: span id collision on "
+                    f"{shown}{'...' if len(colliding) > 5 else ''} -- "
+                    "worker tracers must use disjoint id_offset values "
+                    "(see Tracer(id_offset=...))"
+                )
             self._finished.extend(spans)
+            self._seen_ids.update(incoming)
 
     def finished(self) -> List[Span]:
         """Snapshot of all completed spans, completion order."""
@@ -277,6 +456,7 @@ class Tracer:
         """Drop every collected span (open spans are unaffected)."""
         with self._lock:
             self._finished.clear()
+            self._seen_ids.clear()
 
     def __len__(self) -> int:
         with self._lock:

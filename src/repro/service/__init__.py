@@ -18,13 +18,16 @@ package on the CLI.
 
 from repro.service.app import (
     LocalizationService,
+    RotatingNdjsonLog,
     ServiceConfig,
     make_server,
 )
 from repro.service.batcher import BatchedOutcome, MicroBatcher
+from repro.service.telemetry import AccuracyTelemetry
 from repro.service.loadtest import (
     LoadtestResult,
     build_request_bodies,
+    fetch_metrics,
     run_loadtest,
     update_bench_service_json,
 )
@@ -61,6 +64,7 @@ from repro.service.schema import (
 )
 
 __all__ = [
+    "AccuracyTelemetry",
     "BatchedOutcome",
     "CsiQuality",
     "DEFAULT_SERVICE_RESOLUTION_M",
@@ -76,6 +80,7 @@ __all__ = [
     "QualityGates",
     "RateLimitDecision",
     "RateLimiter",
+    "RotatingNdjsonLog",
     "ScenarioSpec",
     "SchemaError",
     "ServiceConfig",
@@ -88,6 +93,7 @@ __all__ = [
     "default_scenarios",
     "encode_observations",
     "error_body",
+    "fetch_metrics",
     "locate_response",
     "make_server",
     "parse_locate_request",

@@ -17,10 +17,16 @@ is configured, 404 unknown scenario, 429 over the token bucket (with
 degraded request that *any* provider can answer is a 200 naming the
 provider -- degradation is data, not an error.
 
-Instrumentation: per-request ``service.*`` metrics and a request span
-through :mod:`repro.obs` when an observer is installed, always-on plain
-counters for ``/v1/stats``, and an optional NDJSON access log (API keys
-are logged as truncated digests, never raw).
+Instrumentation: every request carries a W3C-``traceparent``-style
+``trace_id`` (inbound header honoured, always echoed on the response
+and in the body), the request lifecycle runs inside a
+``service.locate`` span when an observer is installed, and an
+*always-on* service-local metrics registry backs ``GET /metrics``
+(OpenMetrics text with exemplars -- latency buckets link to sample
+trace ids) regardless of the global observer.  The NDJSON access log is
+size-rotated (``access.ndjson`` -> ``access.ndjson.1``) and each line
+carries the ``trace_id``; API keys are logged as truncated digests,
+never raw.
 """
 
 from __future__ import annotations
@@ -28,14 +34,26 @@ from __future__ import annotations
 import hashlib
 import json
 import math
+import os
 import threading
 import time
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, FrozenSet, List, Optional, Tuple, Type
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple, Type, Union
 
 from repro.errors import LocalizationError
-from repro.obs import LATENCY_BUCKETS_S, get_observer
+from repro.obs import LATENCY_BUCKETS_S, Observability, get_observer
+from repro.obs.health import AnchorHealthMonitor
+from repro.obs.promexport import (
+    OPENMETRICS_CONTENT_TYPE,
+    render_openmetrics,
+)
+from repro.obs.trace import (
+    TraceContext,
+    format_traceparent,
+    new_trace_id,
+    parse_traceparent,
+)
 from repro.service.batcher import MicroBatcher
 from repro.service.pool import (
     LocalizerPool,
@@ -50,9 +68,12 @@ from repro.service.schema import (
     locate_response,
     parse_locate_request,
 )
+from repro.service.telemetry import AccuracyTelemetry
 
-#: (status, JSON body, extra headers) -- what every handler returns.
-Response = Tuple[int, Dict[str, Any], Dict[str, str]]
+#: (status, body, extra headers) -- what every handler returns.  The
+#: body is a JSON dict on every route except ``GET /metrics``, whose
+#: body is the OpenMetrics text document itself.
+Response = Tuple[int, Union[Dict[str, Any], str], Dict[str, str]]
 
 
 def _key_digest(api_key: Optional[str]) -> str:
@@ -60,6 +81,52 @@ def _key_digest(api_key: Optional[str]) -> str:
     if not api_key:
         return "-"
     return hashlib.sha256(api_key.encode("utf-8")).hexdigest()[:8]
+
+
+class RotatingNdjsonLog:
+    """Append-only NDJSON log with size-based single-generation rotation.
+
+    When appending a line would push the file past ``max_bytes`` (and
+    the file is non-empty), the current file is renamed to
+    ``<path>.1`` -- replacing any previous ``.1`` -- and a fresh file is
+    opened, so the log's disk footprint is bounded by roughly
+    ``2 * max_bytes``.  One generation is enough for a dashboard tail
+    (see ``repro obs top``, which follows the rotation).
+
+    Thread-safety: writes and rotation run under one lock.
+    """
+
+    def __init__(self, path: str, max_bytes: int = 16 * 1024 * 1024):
+        self.path = path
+        self.max_bytes = int(max_bytes)
+        self._lock = threading.Lock()
+        self._fh = open(path, "a", encoding="utf-8")
+        self._size = os.fstat(self._fh.fileno()).st_size
+
+    def write_line(self, line: str) -> None:
+        """Append one line (rotating first if it would overflow)."""
+        encoded_len = len(line.encode("utf-8")) + 1
+        with self._lock:
+            if (
+                self._size > 0
+                and self._size + encoded_len > self.max_bytes
+            ):
+                self._rotate_locked()
+            self._fh.write(line + "\n")
+            self._fh.flush()
+            self._size += encoded_len
+
+    def _rotate_locked(self) -> None:
+        self._fh.close()
+        os.replace(self.path, self.path + ".1")
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._size = 0
+
+    def close(self) -> None:
+        """Flush and close the current file."""
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
 
 
 @dataclass
@@ -71,6 +138,8 @@ class ServiceConfig:
         api_keys: optional allowlist; None accepts any key.
         max_batch / max_wait_s: micro-batcher coalescing window.
         access_log_path: NDJSON access log (None disables logging).
+        access_log_max_bytes: size threshold at which the access log
+            rotates to ``<path>.1`` (one generation kept).
     """
 
     rate_per_s: float = 50.0
@@ -79,6 +148,7 @@ class ServiceConfig:
     max_batch: int = 8
     max_wait_s: float = 0.005
     access_log_path: Optional[str] = None
+    access_log_max_bytes: int = 16 * 1024 * 1024
 
 
 class LocalizationService:
@@ -107,8 +177,22 @@ class LocalizationService:
         self._request_counter = 0
         self.responses_by_status: Dict[int, int] = {}
         self.responses_by_provider: Dict[str, int] = {}
+        # Service-local observability, always on: GET /metrics and the
+        # accuracy telemetry must work without the process-wide
+        # --trace/--metrics switchboard.  Spans still go through the
+        # global observer (tracing stays opt-in); only metrics are
+        # unconditionally recorded here.
+        self._service_obs = Observability(enabled=True)
+        self.metrics = self._service_obs.metrics
+        self.telemetry = AccuracyTelemetry(
+            metrics=self.metrics,
+            monitor=AnchorHealthMonitor(observer=self._service_obs),
+        )
         self._access_log = (
-            open(self.config.access_log_path, "a", encoding="utf-8")
+            RotatingNdjsonLog(
+                self.config.access_log_path,
+                max_bytes=self.config.access_log_max_bytes,
+            )
             if self.config.access_log_path
             else None
         )
@@ -148,8 +232,15 @@ class LocalizationService:
         provider: Optional[str],
         latency_s: float,
         error_code: Optional[str],
+        trace_id: str = "",
     ) -> None:
-        """Account one finished request: counters, metrics, access log."""
+        """Account one finished request: counters, metrics, access log.
+
+        Metrics always land in the service-local registry (exemplars on
+        the latency histogram carry the request's ``trace_id``); when a
+        global observer is installed they are mirrored there too, so a
+        ``--metrics`` run and a /metrics scrape agree.
+        """
         with self._lock:
             self.responses_by_status[status] = (
                 self.responses_by_status.get(status, 0) + 1
@@ -158,22 +249,24 @@ class LocalizationService:
                 self.responses_by_provider[provider] = (
                     self.responses_by_provider.get(provider, 0) + 1
                 )
+        registries = [self.metrics]
         observer = get_observer()
         if observer.enabled:
-            observer.metrics.counter("service.requests_total").inc()
-            observer.metrics.counter(f"service.status.{status}").inc()
+            registries.append(observer.metrics)
+        for registry in registries:
+            registry.counter("service.requests_total").inc()
+            registry.counter(f"service.status.{status}").inc()
             if provider is not None:
-                observer.metrics.counter(
-                    f"service.provider.{provider}"
-                ).inc()
-            observer.metrics.histogram(
+                registry.counter(f"service.provider.{provider}").inc()
+            registry.histogram(
                 "service.request_latency_s", LATENCY_BUCKETS_S
-            ).observe(latency_s)
+            ).observe(latency_s, trace_id=trace_id or None)
         if self._access_log is not None:
             line = json.dumps(
                 {
                     "ts": time.time(),
                     "request_id": request_id,
+                    "trace_id": trace_id,
                     "key": _key_digest(api_key),
                     "scenario": scenario,
                     "status": status,
@@ -183,20 +276,32 @@ class LocalizationService:
                 },
                 sort_keys=True,
             )
-            with self._lock:
-                self._access_log.write(line + "\n")
-                self._access_log.flush()
+            self._access_log.write_line(line)
 
     # ----------------------------------------------------------- routes
 
-    def handle_locate(self, raw_body: bytes) -> Response:
-        """Serve one ``POST /v1/locate`` body end to end."""
+    def handle_locate(
+        self, raw_body: bytes, traceparent: Optional[str] = None
+    ) -> Response:
+        """Serve one ``POST /v1/locate`` body end to end.
+
+        ``traceparent`` is the inbound W3C trace-context header (or
+        None): a well-formed header continues the caller's trace, else
+        the request starts a fresh one.  Every response -- success or
+        typed error -- carries the ``trace_id`` in the body and a
+        ``traceparent`` response header, and the whole lifecycle runs
+        inside a ``service.locate`` span on that trace.
+        """
         started = time.perf_counter()
         request_id = self._next_request_id()
+        trace_id = parse_traceparent(traceparent) or new_trace_id()
         api_key: Optional[str] = None
         scenario: Optional[str] = None
         observer = get_observer()
-        with observer.span("service.locate"):
+        with observer.span(
+            "service.locate", trace_id=trace_id, request_id=request_id
+        ) as span:
+            span_id = span.span_id if span is not None else 0
             try:
                 request = parse_locate_request(raw_body)
             except SchemaError as exc:
@@ -215,9 +320,13 @@ class LocalizationService:
                     None,
                     started,
                     "invalid_request",
+                    trace_id,
+                    span_id,
                 )
             api_key = request.api_key
             scenario = request.scenario
+            if span is not None:
+                span.set(scenario=scenario)
             if not self.limiter.authorized(api_key):
                 return self._finish(
                     401,
@@ -233,6 +342,8 @@ class LocalizationService:
                     None,
                     started,
                     "unauthorized",
+                    trace_id,
+                    span_id,
                 )
             decision = self.limiter.check(api_key)
             if not decision.allowed:
@@ -254,6 +365,8 @@ class LocalizationService:
                     None,
                     started,
                     "rate_limited",
+                    trace_id,
+                    span_id,
                 )
             try:
                 warm = self.pool.get(request.scenario)
@@ -273,6 +386,8 @@ class LocalizationService:
                     None,
                     started,
                     "unknown_scenario",
+                    trace_id,
+                    span_id,
                 )
             try:
                 observations = decode_observations(
@@ -296,11 +411,31 @@ class LocalizationService:
                     None,
                     started,
                     "invalid_request",
+                    trace_id,
+                    span_id,
                 )
-            outcome = self._batcher_for(request.scenario).locate(
-                observations
+            # The batch runs on the batcher's worker thread under its
+            # own linked trace; the wait span measures how long this
+            # request blocked on coalescing + the shared locate_batch.
+            context = TraceContext(
+                trace_id=trace_id,
+                parent=span.handle() if span is not None else None,
             )
+            with observer.span(
+                "service.batch_wait", trace_id=trace_id
+            ) as wait_span:
+                outcome = self._batcher_for(request.scenario).locate(
+                    observations, context
+                )
+                if wait_span is not None:
+                    wait_span.set(
+                        batch_size=outcome.batch_size,
+                        batch_trace_id=outcome.batch_trace_id,
+                    )
+            if span is not None and outcome.batch_trace_id:
+                span.set(batch_trace_id=outcome.batch_trace_id)
             if isinstance(outcome.decision, LocalizationError):
+                self.telemetry.record_fix(observations, None)
                 return self._finish(
                     503,
                     error_body(
@@ -315,7 +450,14 @@ class LocalizationService:
                     None,
                     started,
                     "no_fix",
+                    trace_id,
+                    span_id,
                 )
+            events = self.telemetry.record_fix(
+                observations, outcome.decision.position
+            )
+            if span is not None and events:
+                span.set(anomalies=len(events))
             latency_s = time.perf_counter() - started
             body = locate_response(
                 position_x=float(outcome.decision.position.x),
@@ -327,6 +469,7 @@ class LocalizationService:
                 quality=outcome.decision.quality.to_dict(),
                 fallback_reasons=outcome.decision.fallback_reasons,
                 batch_size=outcome.batch_size,
+                trace_id=trace_id,
             )
             self._record(
                 200,
@@ -336,8 +479,13 @@ class LocalizationService:
                 outcome.decision.provider,
                 latency_s,
                 None,
+                trace_id,
             )
-            return 200, body, {}
+            return (
+                200,
+                body,
+                {"traceparent": format_traceparent(trace_id, span_id)},
+            )
 
     def _finish(
         self,
@@ -350,8 +498,15 @@ class LocalizationService:
         provider: Optional[str],
         started: float,
         error_code: Optional[str],
+        trace_id: str = "",
+        span_id: int = 0,
     ) -> Response:
-        """Record a non-200 outcome and shape the response tuple."""
+        """Record a non-200 outcome and shape the response tuple.
+
+        The trace identity rides along even on failures: the error body
+        gains ``trace_id`` and the response a ``traceparent`` header,
+        so a 4xx/5xx is as traceable as a fix.
+        """
         self._record(
             status,
             request_id,
@@ -360,55 +515,115 @@ class LocalizationService:
             provider,
             time.perf_counter() - started,
             error_code,
+            trace_id,
         )
+        if trace_id:
+            body = {**body, "trace_id": trace_id}
+            headers = {
+                **headers,
+                "traceparent": format_traceparent(trace_id, span_id),
+            }
         return status, body, headers
 
-    def handle_health(self) -> Response:
-        """``GET /v1/health``: liveness plus warm-pool readiness."""
-        pool_info = self.pool.info()
-        return (
-            200,
-            {
-                "status": "ok",
-                "uptime_s": round(
-                    time.monotonic() - self.started_monotonic, 3
-                ),
-                "scenarios": pool_info["scenarios"],
-                "warm": sorted(pool_info["warm"]),
-            },
-            {},
-        )
+    def _trace_headers(
+        self, traceparent: Optional[str]
+    ) -> Tuple[str, Dict[str, str]]:
+        """Resolve the request's trace id and its response headers."""
+        trace_id = parse_traceparent(traceparent) or new_trace_id()
+        return trace_id, {"traceparent": format_traceparent(trace_id)}
 
-    def handle_stats(self) -> Response:
-        """``GET /v1/stats``: pool, limiter, batcher and status counters."""
-        with self._lock:
-            by_status = {
-                str(status): count
-                for status, count in sorted(
-                    self.responses_by_status.items()
-                )
-            }
-            by_provider = dict(
-                sorted(self.responses_by_provider.items())
+    def handle_health(
+        self, traceparent: Optional[str] = None
+    ) -> Response:
+        """``GET /v1/health``: liveness plus warm-pool readiness."""
+        trace_id, headers = self._trace_headers(traceparent)
+        with get_observer().span("service.health", trace_id=trace_id):
+            pool_info = self.pool.info()
+            return (
+                200,
+                {
+                    "status": "ok",
+                    "uptime_s": round(
+                        time.monotonic() - self.started_monotonic, 3
+                    ),
+                    "scenarios": pool_info["scenarios"],
+                    "warm": sorted(pool_info["warm"]),
+                    "trace_id": trace_id,
+                },
+                headers,
             )
-            batchers = {
-                name: batcher.info()
-                for name, batcher in sorted(self._batchers.items())
-            }
-        return (
-            200,
-            {
-                "uptime_s": round(
-                    time.monotonic() - self.started_monotonic, 3
-                ),
-                "responses_by_status": by_status,
-                "responses_by_provider": by_provider,
-                "pool": self.pool.info(),
-                "ratelimit": self.limiter.info(),
-                "batchers": batchers,
-            },
-            {},
-        )
+
+    def _cache_stats(self) -> Dict[str, Any]:
+        """Steering-cache hit/miss counters with a derived hit ratio."""
+        engine = self.pool.engine.info()
+        lookups = engine["hits"] + engine["misses"]
+        return {
+            "hits": engine["hits"],
+            "misses": engine["misses"],
+            "evictions": engine["evictions"],
+            "entries": engine["entries"],
+            "hit_ratio": (
+                round(engine["hits"] / lookups, 4) if lookups else None
+            ),
+        }
+
+    def handle_stats(
+        self, traceparent: Optional[str] = None
+    ) -> Response:
+        """``GET /v1/stats``: pool, limiter, batcher and status counters.
+
+        The ``cache`` section surfaces steering-cache hits/misses and
+        the derived hit ratio directly (the loadtest smoke asserts on
+        it); ``pool.warmth`` maps every served scenario to whether it
+        is built; ``telemetry`` summarises live accuracy anomalies.
+        """
+        trace_id, headers = self._trace_headers(traceparent)
+        with get_observer().span("service.stats", trace_id=trace_id):
+            with self._lock:
+                by_status = {
+                    str(status): count
+                    for status, count in sorted(
+                        self.responses_by_status.items()
+                    )
+                }
+                by_provider = dict(
+                    sorted(self.responses_by_provider.items())
+                )
+                batchers = {
+                    name: batcher.info()
+                    for name, batcher in sorted(self._batchers.items())
+                }
+            return (
+                200,
+                {
+                    "uptime_s": round(
+                        time.monotonic() - self.started_monotonic, 3
+                    ),
+                    "responses_by_status": by_status,
+                    "responses_by_provider": by_provider,
+                    "pool": self.pool.info(),
+                    "cache": self._cache_stats(),
+                    "ratelimit": self.limiter.info(),
+                    "batchers": batchers,
+                    "telemetry": self.telemetry.info(),
+                    "trace_id": trace_id,
+                },
+                headers,
+            )
+
+    def handle_metrics(
+        self, traceparent: Optional[str] = None
+    ) -> Response:
+        """``GET /metrics``: OpenMetrics exposition with exemplars.
+
+        Rendered from the service-local always-on registry, so the
+        endpoint works (and latency buckets carry exemplar trace ids)
+        whether or not the global observer is installed.
+        """
+        trace_id, headers = self._trace_headers(traceparent)
+        with get_observer().span("service.metrics", trace_id=trace_id):
+            headers["Content-Type"] = OPENMETRICS_CONTENT_TYPE
+            return 200, render_openmetrics(self.metrics), headers
 
     def close(self) -> None:
         """Stop batcher workers and close the access log."""
@@ -420,8 +635,7 @@ class LocalizationService:
         for batcher in batchers:
             batcher.close()
         if self._access_log is not None:
-            with self._lock:
-                self._access_log.close()
+            self._access_log.close()
 
 
 # ------------------------------------------------------------- transport
@@ -440,14 +654,29 @@ def _handler_for(service: LocalizationService) -> Type[BaseHTTPRequestHandler]:
 
         def _send(self, response: Response) -> None:
             status, body, headers = response
-            payload = json.dumps(body).encode("utf-8")
+            headers = dict(headers)
+            if isinstance(body, str):
+                # Text route (GET /metrics): the handler supplies the
+                # exposition Content-Type.
+                payload = body.encode("utf-8")
+                content_type = headers.pop(
+                    "Content-Type", "text/plain; charset=utf-8"
+                )
+            else:
+                payload = json.dumps(body).encode("utf-8")
+                content_type = headers.pop(
+                    "Content-Type", "application/json"
+                )
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(payload)))
             for name, value in headers.items():
                 self.send_header(name, value)
             self.end_headers()
             self.wfile.write(payload)
+
+        def _traceparent(self) -> Optional[str]:
+            return self.headers.get("traceparent")
 
         def do_POST(self) -> None:
             if self.path != "/v1/locate":
@@ -482,13 +711,19 @@ def _handler_for(service: LocalizationService) -> Type[BaseHTTPRequestHandler]:
                 )
                 return
             raw = self.rfile.read(length)
-            self._send(service.handle_locate(raw))
+            self._send(
+                service.handle_locate(raw, self._traceparent())
+            )
 
         def do_GET(self) -> None:
             if self.path == "/v1/health":
-                self._send(service.handle_health())
+                self._send(service.handle_health(self._traceparent()))
             elif self.path == "/v1/stats":
-                self._send(service.handle_stats())
+                self._send(service.handle_stats(self._traceparent()))
+            elif self.path == "/metrics":
+                self._send(
+                    service.handle_metrics(self._traceparent())
+                )
             else:
                 self._send(
                     (404, error_body("not_found", self.path), {})

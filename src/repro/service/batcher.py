@@ -27,6 +27,8 @@ from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.observations import ChannelObservations
 from repro.errors import LocalizationError, ReproError
+from repro.obs import get_observer
+from repro.obs.trace import TraceContext
 from repro.service.providers import LocateDecision
 
 #: Batch callable: observations in, parallel decisions/errors out.
@@ -47,10 +49,21 @@ class BatchedOutcome:
         decision: the provider chain's per-fix outcome (decision or
             contained :class:`LocalizationError`).
         batch_size: how many requests shared the ``locate_batch`` call.
+        batch_trace_id: trace id of the shared batch span (``""`` when
+            tracing was disabled).  The batch runs on its *own* trace --
+            it belongs to several requests at once -- and each member
+            trace links to it through this id (and back, through the
+            batch span's ``member_trace_ids`` attribute), which is how
+            ``repro obs trace`` grafts the batch subtree into a
+            member's tree.
+        batch_span_id: span id of the shared batch span (0 when tracing
+            was disabled).
     """
 
     decision: Union[LocateDecision, LocalizationError]
     batch_size: int
+    batch_trace_id: str = ""
+    batch_span_id: int = 0
 
 
 class MicroBatcher:
@@ -87,9 +100,16 @@ class MicroBatcher:
         self._worker.start()
 
     def submit(
-        self, observations: ChannelObservations
+        self,
+        observations: ChannelObservations,
+        context: Optional[TraceContext] = None,
     ) -> "Future[BatchedOutcome]":
         """Enqueue one request; the future resolves with its outcome.
+
+        ``context`` carries the submitting request's trace identity: the
+        shared batch span records every member's trace id
+        (``member_trace_ids``), so the batch subtree is reachable from
+        each member's trace reconstruction.
 
         Raises:
             ReproError: when the batcher is already closed.
@@ -97,21 +117,29 @@ class MicroBatcher:
         if self._closed.is_set():
             raise ReproError("batcher is closed")
         future: "Future[BatchedOutcome]" = Future()
-        self._queue.put((observations, future))
+        self._queue.put((observations, future, context))
         return future
 
-    def locate(self, observations: ChannelObservations) -> BatchedOutcome:
+    def locate(
+        self,
+        observations: ChannelObservations,
+        context: Optional[TraceContext] = None,
+    ) -> BatchedOutcome:
         """Submit and block until the outcome is ready."""
-        return self.submit(observations).result()
+        return self.submit(observations, context).result()
 
     def _gather(
         self,
-    ) -> Optional[List[Tuple[ChannelObservations, Future]]]:
+    ) -> Optional[
+        List[Tuple[ChannelObservations, Future, Optional[TraceContext]]]
+    ]:
         """Collect one batch; None means the close sentinel arrived."""
         first = self._queue.get()
         if first is _CLOSE:
             return None
-        pending: List[Tuple[ChannelObservations, Future]] = [first]  # type: ignore[list-item]
+        pending: List[
+            Tuple[ChannelObservations, Future, Optional[TraceContext]]
+        ] = [first]  # type: ignore[list-item]
         remaining = self.max_wait_s
         while len(pending) < self.max_batch and remaining > 0:
             started = time.perf_counter()
@@ -129,25 +157,52 @@ class MicroBatcher:
         return pending
 
     def _run(self) -> None:
-        """Worker loop: gather -> one locate_batch -> resolve futures."""
+        """Worker loop: gather -> one locate_batch -> resolve futures.
+
+        Each batch runs inside a ``service.batch`` span on a trace of
+        its own (a batch belongs to every member at once, so it cannot
+        live on any single member's trace); the span carries the member
+        trace ids as a link, and every resolved outcome carries the
+        batch's trace/span ids back to its caller.
+        """
         while True:
             pending = self._gather()
             if pending is None:
                 break
-            observations = [obs for obs, _ in pending]
-            try:
-                outcomes = self.batch_fn(observations)
-            except ReproError as exc:
-                for _, future in pending:
-                    future.set_exception(exc)
-                continue
+            # Resolved per batch: the observer may be installed after
+            # this long-lived worker started (observed() in tests, the
+            # CLI's --trace around a running serve loop).
+            observer = get_observer()
+            observations = [obs for obs, _, _ in pending]
+            member_trace_ids = [
+                ctx.trace_id for _, _, ctx in pending if ctx is not None
+            ]
+            batch_trace_id = ""
+            batch_span_id = 0
+            with observer.span(
+                "service.batch",
+                size=len(pending),
+                member_trace_ids=member_trace_ids,
+            ) as batch_span:
+                try:
+                    outcomes = self.batch_fn(observations)
+                except ReproError as exc:
+                    for _, future, _ in pending:
+                        future.set_exception(exc)
+                    continue
+                if batch_span is not None:
+                    batch_trace_id = batch_span.trace_id
+                    batch_span_id = batch_span.span_id
             self.batches_total += 1
             self.requests_total += len(pending)
             self.largest_batch = max(self.largest_batch, len(pending))
-            for (_, future), outcome in zip(pending, outcomes):
+            for (_, future, _), outcome in zip(pending, outcomes):
                 future.set_result(
                     BatchedOutcome(
-                        decision=outcome, batch_size=len(pending)
+                        decision=outcome,
+                        batch_size=len(pending),
+                        batch_trace_id=batch_trace_id,
+                        batch_span_id=batch_span_id,
                     )
                 )
 
@@ -160,11 +215,21 @@ class MicroBatcher:
         self._worker.join(timeout=timeout_s)
 
     def info(self) -> dict:
-        """Plain-data batcher statistics for /v1/stats."""
+        """Plain-data batcher statistics for /v1/stats.
+
+        ``mean_batch`` is the occupancy (requests per locate_batch
+        call); ``queue_depth`` is the instantaneous backlog.
+        """
         return {
             "max_batch": self.max_batch,
             "max_wait_s": self.max_wait_s,
             "batches_total": self.batches_total,
             "requests_total": self.requests_total,
             "largest_batch": self.largest_batch,
+            "mean_batch": (
+                round(self.requests_total / self.batches_total, 4)
+                if self.batches_total
+                else None
+            ),
+            "queue_depth": self._queue.qsize(),
         }

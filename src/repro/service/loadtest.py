@@ -44,6 +44,11 @@ class LoadtestResult:
         providers: 200-response count per provider.
         statuses: response count per HTTP status.
         batch_sizes: how many requests reported each batch size.
+        trace_ids: sample of response trace ids (first few responses),
+            for cross-checking against a span export or /metrics
+            exemplars.
+        slowest_trace_id: trace id of the slowest observed request --
+            the natural argument to ``repro obs trace``.
     """
 
     requests: int
@@ -57,6 +62,8 @@ class LoadtestResult:
     providers: Dict[str, int] = field(default_factory=dict)
     statuses: Dict[str, int] = field(default_factory=dict)
     batch_sizes: Dict[str, int] = field(default_factory=dict)
+    trace_ids: List[str] = field(default_factory=list)
+    slowest_trace_id: str = ""
 
     def to_dict(self) -> dict:
         """Bench-JSON ``service`` section."""
@@ -76,6 +83,8 @@ class LoadtestResult:
             "providers": dict(sorted(self.providers.items())),
             "statuses": dict(sorted(self.statuses.items())),
             "batch_sizes": dict(sorted(self.batch_sizes.items())),
+            "trace_ids": list(self.trace_ids),
+            "slowest_trace_id": self.slowest_trace_id,
         }
 
 
@@ -164,11 +173,13 @@ def run_loadtest(
     providers: Dict[str, int] = {}
     statuses: Dict[str, int] = {}
     batch_sizes: Dict[str, int] = {}
+    trace_ids: List[str] = []
+    slowest: Tuple[float, str] = (0.0, "")
     failures = 0
     lock = threading.Lock()
 
     def client(worker_index: int) -> None:
-        nonlocal failures
+        nonlocal failures, slowest
         connection = http.client.HTTPConnection(
             host, port, timeout=timeout_s
         )
@@ -186,9 +197,15 @@ def run_loadtest(
                 )
                 continue
             elapsed = time.perf_counter() - began
+            trace_id = str(payload.get("trace_id") or "")
             with lock:
                 latencies.append(elapsed)
                 statuses[str(status)] = statuses.get(str(status), 0) + 1
+                if trace_id:
+                    if len(trace_ids) < 8:
+                        trace_ids.append(trace_id)
+                    if elapsed > slowest[0]:
+                        slowest = (elapsed, trace_id)
                 if status == 200:
                     provider = str(payload.get("provider", "?"))
                     providers[provider] = providers.get(provider, 0) + 1
@@ -238,7 +255,35 @@ def run_loadtest(
         providers=providers,
         statuses=statuses,
         batch_sizes=batch_sizes,
+        trace_ids=trace_ids,
+        slowest_trace_id=slowest[1],
     )
+
+
+def fetch_metrics(
+    host: str, port: int, timeout_s: float = 10.0
+) -> str:
+    """``GET /metrics`` from a live server, returning the exposition.
+
+    Raises:
+        ReproError: non-200 status or unreachable server.
+    """
+    connection = http.client.HTTPConnection(
+        host, port, timeout=timeout_s
+    )
+    try:
+        connection.request("GET", "/metrics")
+        response = connection.getresponse()
+        raw = response.read()
+        if response.status != 200:
+            raise ReproError(
+                f"GET /metrics returned {response.status}"
+            )
+        return raw.decode("utf-8")
+    except (OSError, http.client.HTTPException) as exc:
+        raise ReproError(f"GET /metrics failed: {exc}") from exc
+    finally:
+        connection.close()
 
 
 def update_bench_service_json(

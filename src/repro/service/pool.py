@@ -24,6 +24,7 @@ from typing import Callable, Dict, List, Optional
 from repro.core.engine import EngineConfig, SteeringCache
 from repro.core.localizer import BlocConfig, BlocLocalizer
 from repro.errors import ReproError
+from repro.obs import get_observer
 from repro.service.providers import ProviderChain, QualityGates
 from repro.sim.measurement import ChannelMeasurementModel
 from repro.sim.testbed import Testbed, open_room_testbed, vicon_testbed
@@ -173,19 +174,24 @@ class LocalizerPool:
 
         The warm-up fix runs a synthetic centre-of-room measurement
         through the BLoc path purely to populate the steering cache;
-        its result is discarded.
+        its result is discarded.  The build runs inside a
+        ``service.pool_build`` span, so a request that paid the cold
+        build (rather than riding a warm entry) shows it in its trace.
         """
         started = time.perf_counter()
-        testbed = spec.factory()
-        bloc = BlocLocalizer(
-            config=BlocConfig(grid_resolution_m=self.grid_resolution_m),
-            engine=self.engine,
-        )
-        chain = ProviderChain(bloc=bloc, gates=self.gates)
-        model = ChannelMeasurementModel(testbed, seed=0)
-        x_min, x_max, y_min, y_max = testbed.environment.bounds()
-        centre = Point((x_min + x_max) / 2.0, (y_min + y_max) / 2.0)
-        bloc.locate(model.measure(centre), keep_map=False)
+        with get_observer().span("service.pool_build", scenario=spec.name):
+            testbed = spec.factory()
+            bloc = BlocLocalizer(
+                config=BlocConfig(
+                    grid_resolution_m=self.grid_resolution_m
+                ),
+                engine=self.engine,
+            )
+            chain = ProviderChain(bloc=bloc, gates=self.gates)
+            model = ChannelMeasurementModel(testbed, seed=0)
+            x_min, x_max, y_min, y_max = testbed.environment.bounds()
+            centre = Point((x_min + x_max) / 2.0, (y_min + y_max) / 2.0)
+            bloc.locate(model.measure(centre), keep_map=False)
         return WarmScenario(
             spec=spec,
             testbed=testbed,
@@ -206,6 +212,12 @@ class LocalizerPool:
         return {
             "scenarios": self.names(),
             "warm": warm,
+            # Warmth at a glance: every served scenario -> built or not,
+            # so a smoke test asserts readiness without inferring it
+            # from the warm dict's keys.
+            "warmth": {
+                name: name in warm for name in self.names()
+            },
             "grid_resolution_m": self.grid_resolution_m,
             "engine": self.engine.info(),
         }

@@ -36,6 +36,7 @@ from repro.core.correction import usable_band_mask
 from repro.core.localizer import BlocLocalizer
 from repro.core.observations import ChannelObservations
 from repro.errors import LocalizationError
+from repro.obs import get_observer
 from repro.utils.geometry2d import Point
 
 #: Provider names in fallback order.
@@ -234,34 +235,39 @@ class ProviderChain:
         outcomes: List[
             Optional[Union[LocateDecision, LocalizationError]]
         ] = [None] * len(items)
-        qualities = [assess_quality(obs) for obs in items]
-        reasons: List[List[str]] = [[] for _ in items]
-        admitted: List[int] = []
-        for index, quality in enumerate(qualities):
-            reason = self.gate_reason(quality)
-            if reason is None:
-                admitted.append(index)
-            else:
-                reasons[index].append(f"bloc: gated ({reason})")
-        if admitted:
-            bloc_outcomes = self.bloc.locate_batch(
-                [items[i] for i in admitted], keep_map=False
-            )
-            for index, outcome in zip(admitted, bloc_outcomes):
-                if isinstance(outcome, LocalizationError):
-                    reasons[index].append(f"bloc: {outcome}")
+        with get_observer().span(
+            "service.provider_chain", size=len(items)
+        ) as chain_span:
+            qualities = [assess_quality(obs) for obs in items]
+            reasons: List[List[str]] = [[] for _ in items]
+            admitted: List[int] = []
+            for index, quality in enumerate(qualities):
+                reason = self.gate_reason(quality)
+                if reason is None:
+                    admitted.append(index)
                 else:
-                    outcomes[index] = LocateDecision(
-                        position=outcome.position,
-                        provider="bloc",
-                        quality=qualities[index],
-                        fallback_reasons=list(reasons[index]),
-                    )
-        for index, outcome in enumerate(outcomes):
-            if outcome is None:
-                outcomes[index] = self._fallback(
-                    items[index], qualities[index], reasons[index]
+                    reasons[index].append(f"bloc: gated ({reason})")
+            if admitted:
+                bloc_outcomes = self.bloc.locate_batch(
+                    [items[i] for i in admitted], keep_map=False
                 )
+                for index, outcome in zip(admitted, bloc_outcomes):
+                    if isinstance(outcome, LocalizationError):
+                        reasons[index].append(f"bloc: {outcome}")
+                    else:
+                        outcomes[index] = LocateDecision(
+                            position=outcome.position,
+                            provider="bloc",
+                            quality=qualities[index],
+                            fallback_reasons=list(reasons[index]),
+                        )
+            for index, outcome in enumerate(outcomes):
+                if outcome is None:
+                    outcomes[index] = self._fallback(
+                        items[index], qualities[index], reasons[index]
+                    )
+            if chain_span is not None:
+                chain_span.set(admitted=len(admitted))
         return outcomes  # type: ignore[return-value]
 
     def locate(

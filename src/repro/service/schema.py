@@ -225,8 +225,14 @@ def locate_response(
     quality: Optional[dict] = None,
     fallback_reasons: Optional[List[str]] = None,
     batch_size: int = 1,
+    trace_id: str = "",
 ) -> dict:
-    """The 200 response body of one locate request."""
+    """The 200 response body of one locate request.
+
+    ``trace_id`` is the request's distributed-trace identity (also
+    emitted as the ``traceparent`` response header); clients quote it
+    to ``repro obs trace`` to reconstruct the request's span tree.
+    """
     return {
         "position": {"x": position_x, "y": position_y},
         "provider": provider,
@@ -236,4 +242,5 @@ def locate_response(
         "quality": quality or {},
         "fallback_reasons": fallback_reasons or [],
         "batch_size": batch_size,
+        "trace_id": trace_id,
     }

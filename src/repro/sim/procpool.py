@@ -17,7 +17,11 @@ fan-out cheap:
   :meth:`~repro.obs.trace.Tracer.absorb` and
   :meth:`~repro.obs.metrics.MetricsRegistry.merge_snapshot`, so one
   export covers the whole cross-process sweep and metric totals match a
-  serial run.
+  serial run.  The shipped :class:`~repro.obs.trace.SpanHandle` carries
+  the sweep's ``trace_id``, and ``attached()`` seeds it into every span
+  the worker opens -- the whole cross-process sweep shares one trace
+  with no extra plumbing here, and ``absorb`` rejects any span-id
+  collision that would corrupt the reassembled tree.
 
 A worker crash (OOM kill, segfault) breaks the pool.  The sweep then
 records every unfinished fix as a failure with a clean

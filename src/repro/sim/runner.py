@@ -716,7 +716,10 @@ def evaluate(
     # The evaluate root span is what per-fix spans merge back under when
     # workers fan out (thread pools via _sweep's handle propagation,
     # process pools via procpool's span absorption); it also gives the
-    # sampling profiler a stable outermost frame for sweep time.
+    # sampling profiler a stable outermost frame for sweep time.  As a
+    # root span it mints the sweep's trace_id, which the propagated
+    # handles carry into every worker -- one sweep, one trace, so
+    # `repro obs trace` reconstructs the whole fan-out from the export.
     with observer.span(
         "evaluate",
         label=label,

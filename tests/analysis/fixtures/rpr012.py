@@ -1,0 +1,28 @@
+"""RPR012 fixture: service handlers must open a trace-carrying span."""
+
+
+def handle_untraced(raw_body):
+    return 200, {"ok": True}, {}
+
+
+def handle_span_without_trace(raw_body, observer):
+    with observer.span("service.locate"):
+        return 200, {"ok": True}, {}
+
+
+def handle_waived(raw_body):  # repro: noqa[RPR012] -- fixture
+    return 200, {"ok": True}, {}
+
+
+def handle_traced(raw_body, observer, trace_id):
+    with observer.span("service.locate", trace_id=trace_id):
+        return 200, {"ok": True}, {}
+
+
+def handle_chained(raw_body, get_observer, trace_id):
+    with get_observer().span("service.stats", trace_id=trace_id):
+        return 200, {"ok": True}, {}
+
+
+def not_a_handler(raw_body):
+    return 200, {"ok": True}, {}

@@ -159,6 +159,25 @@ class TestRuleFixtures:
         assert "shared_memory.SharedMemory" in messages
         assert len([f for f in found if f.suppressed]) == 1
 
+    def test_rpr012_untraced_handlers(self):
+        found = by_rule(
+            lint_fixture("rpr012.py", rel="src/repro/service/app.py"),
+            "RPR012",
+        )
+        active = [f for f in found if not f.suppressed]
+        assert len(active) == 2
+        messages = " | ".join(f.message for f in active)
+        assert "handle_untraced" in messages
+        assert "handle_span_without_trace" in messages
+        assert len([f for f in found if f.suppressed]) == 1
+
+    def test_rpr012_quiet_outside_handler_files(self):
+        source = "def handle_x(raw):\n    return 200, {}, {}\n"
+        findings = LintEngine().lint_source(
+            source, rel="src/repro/service/batcher.py"
+        )
+        assert by_rule(findings, "RPR012") == []
+
     def test_rpr011_exempts_the_engine_module(self):
         source = (
             "from multiprocessing import shared_memory\n\n\n"

@@ -1,0 +1,170 @@
+"""Tests for the OpenMetrics exposition: rendering, parsing, exemplars."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.promexport import (
+    OPENMETRICS_CONTENT_TYPE,
+    exemplar_trace_ids,
+    metric_name,
+    parse_exposition,
+    render_openmetrics,
+)
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("service.requests_total").inc(3)
+    registry.gauge("service.queue_depth").set(2.0)
+    histogram = registry.histogram(
+        "service.request_latency_s", buckets=(0.1, 0.5, 1.0)
+    )
+    histogram.observe(0.05, trace_id="aa" * 16)
+    histogram.observe(0.3, trace_id="bb" * 16)
+    histogram.observe(0.3)
+    histogram.observe(5.0)
+    return registry
+
+
+class TestMetricName:
+    def test_dots_become_underscores(self):
+        assert (
+            metric_name("service.request_latency_s")
+            == "service_request_latency_s"
+        )
+
+    def test_leading_digit_guarded(self):
+        assert metric_name("2fast")[0] == "_"
+
+    def test_arbitrary_symbols_sanitised(self):
+        assert metric_name("a b/c-d") == "a_b_c_d"
+
+
+class TestRender:
+    def test_terminates_with_eof(self, registry):
+        text = render_openmetrics(registry)
+        assert text.endswith("# EOF\n")
+
+    def test_counter_gets_total_suffix(self, registry):
+        text = render_openmetrics(registry)
+        assert "service_requests_total 3" in text
+        # The _total suffix is not doubled for *_total metric names.
+        assert "service_requests_total_total" not in text
+
+    def test_nan_gauges_are_skipped(self):
+        registry = MetricsRegistry()
+        registry.gauge("service.empty").set(float("nan"))
+        registry.gauge("service.real").set(1.5)
+        text = render_openmetrics(registry)
+        assert "service_empty" not in text
+        assert "service_real 1.5" in text
+
+    def test_histogram_buckets_are_cumulative(self, registry):
+        families = parse_exposition(render_openmetrics(registry))
+        family = families["service_request_latency_s"]
+        buckets = {
+            s.labels["le"]: s.value
+            for s in family.samples
+            if s.name.endswith("_bucket")
+        }
+        assert buckets["0.1"] == 1
+        assert buckets["0.5"] == 3
+        assert buckets["1"] == 3
+        assert buckets["+Inf"] == 4
+        count = [
+            s for s in family.samples if s.name.endswith("_count")
+        ][0]
+        assert count.value == 4
+
+    def test_histogram_sum_matches_observations(self, registry):
+        families = parse_exposition(render_openmetrics(registry))
+        family = families["service_request_latency_s"]
+        (sample,) = [
+            s for s in family.samples if s.name.endswith("_sum")
+        ]
+        assert sample.value == pytest.approx(0.05 + 0.3 + 0.3 + 5.0)
+
+    def test_content_type_names_openmetrics(self):
+        assert "openmetrics-text" in OPENMETRICS_CONTENT_TYPE
+
+
+class TestExemplars:
+    def test_buckets_carry_exemplar_trace_ids(self, registry):
+        text = render_openmetrics(registry)
+        assert sorted(exemplar_trace_ids(text)) == [
+            "aa" * 16,
+            "bb" * 16,
+        ]
+
+    def test_exemplar_value_and_bucket_alignment(self, registry):
+        families = parse_exposition(render_openmetrics(registry))
+        family = families["service_request_latency_s"]
+        by_le = {
+            s.labels["le"]: s
+            for s in family.samples
+            if s.name.endswith("_bucket")
+        }
+        exemplar = by_le["0.1"].exemplar
+        assert exemplar is not None
+        assert exemplar["labels"]["trace_id"] == "aa" * 16
+        assert exemplar["value"] == pytest.approx(0.05)
+
+    def test_traceless_observation_leaves_no_exemplar(self, registry):
+        families = parse_exposition(render_openmetrics(registry))
+        family = families["service_request_latency_s"]
+        by_le = {
+            s.labels["le"]: s
+            for s in family.samples
+            if s.name.endswith("_bucket")
+        }
+        # 5.0 landed in +Inf without a trace_id: no exemplar there.
+        assert by_le["+Inf"].exemplar is None
+
+    def test_no_exemplars_means_empty_id_list(self):
+        registry = MetricsRegistry()
+        registry.counter("service.requests_total").inc()
+        assert exemplar_trace_ids(render_openmetrics(registry)) == []
+
+
+class TestParse:
+    def test_roundtrip_family_types(self, registry):
+        families = parse_exposition(render_openmetrics(registry))
+        assert families["service_requests"].type == "counter"
+        assert families["service_queue_depth"].type == "gauge"
+        assert (
+            families["service_request_latency_s"].type == "histogram"
+        )
+
+    def test_missing_eof_raises(self, registry):
+        text = render_openmetrics(registry).replace("# EOF\n", "")
+        with pytest.raises(ValueError, match="EOF"):
+            parse_exposition(text)
+
+    def test_content_after_eof_raises(self, registry):
+        text = render_openmetrics(registry) + "stray 1\n"
+        with pytest.raises(ValueError):
+            parse_exposition(text)
+
+    def test_sample_before_type_raises(self):
+        with pytest.raises(ValueError):
+            parse_exposition("orphan_sample 1\n# EOF\n")
+
+    def test_malformed_line_raises(self, registry):
+        text = render_openmetrics(registry)
+        broken = text.replace("# EOF", "!! not a line\n# EOF", 1)
+        with pytest.raises(ValueError):
+            parse_exposition(broken)
+
+    def test_inf_values_parse(self):
+        text = (
+            "# TYPE x gauge\n"
+            "x +Inf\n"
+            "# EOF\n"
+        )
+        families = parse_exposition(text)
+        assert math.isinf(families["x"].samples[0].value)

@@ -137,7 +137,10 @@ class TestSpanHandle:
         with tracer.span("evaluate") as span:
             handle = span.handle()
         assert handle == SpanHandle(
-            span_id=span.span_id, depth=span.depth, name="evaluate"
+            span_id=span.span_id,
+            depth=span.depth,
+            name="evaluate",
+            trace_id=span.trace_id,
         )
         assert pickle.loads(pickle.dumps(handle)) == handle
 

@@ -1,0 +1,119 @@
+"""Tests for trace reconstruction from NDJSON exports
+(resolve_trace_id / trace_spans / render_trace)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.context import Observability
+from repro.obs.export import (
+    export_ndjson,
+    load_ndjson,
+    render_trace,
+    resolve_trace_id,
+    trace_spans,
+)
+from repro.obs.trace import new_trace_id
+
+
+@pytest.fixture
+def export_records(tmp_path):
+    """An export with one request trace linked to a batch subtree."""
+    obs = Observability(enabled=True)
+    trace_id = new_trace_id()
+    other_id = new_trace_id()
+    with obs.span("service.locate", trace_id=trace_id) as request:
+        with obs.span("service.batch_wait"):
+            pass
+    # The batch runs on its own trace, linked back via the attribute.
+    with obs.span(
+        "service.batch", member_trace_ids=[trace_id, other_id]
+    ) as batch:
+        with obs.span("service.provider_chain"):
+            with obs.span("correct"):
+                pass
+    # An unrelated trace that must never be grafted in.
+    with obs.span("service.locate", trace_id=new_trace_id()):
+        pass
+    path = tmp_path / "export.ndjson"
+    export_ndjson(path, obs)
+    return load_ndjson(path), trace_id, batch.trace_id
+
+
+class TestResolveTraceId:
+    def test_exact_match(self, export_records):
+        records, trace_id, _ = export_records
+        assert resolve_trace_id(records, trace_id) == trace_id
+
+    def test_unique_prefix_resolves(self, export_records):
+        records, trace_id, _ = export_records
+        assert resolve_trace_id(records, trace_id[:12]) == trace_id
+
+    def test_unknown_id_raises(self, export_records):
+        records, _, _ = export_records
+        with pytest.raises(ValueError, match="no span"):
+            resolve_trace_id(records, "f" * 32)
+
+    def test_ambiguous_prefix_raises(self, export_records):
+        records, _, _ = export_records
+        with pytest.raises(ValueError, match="ambiguous"):
+            resolve_trace_id(records, "")
+
+
+class TestTraceSpans:
+    def test_own_spans_selected(self, export_records):
+        records, trace_id, _ = export_records
+        names = {
+            r["name"] for r in trace_spans(records, trace_id)
+        }
+        assert "service.locate" in names
+        assert "service.batch_wait" in names
+
+    def test_linked_batch_subtree_grafted(self, export_records):
+        records, trace_id, batch_trace = export_records
+        selected = trace_spans(records, trace_id)
+        names = {r["name"] for r in selected}
+        # The batch and its whole subtree ride in via the link...
+        assert {"service.batch", "service.provider_chain", "correct"} <= names
+        # ...even though they live on a different trace.
+        batch = [r for r in selected if r["name"] == "service.batch"][0]
+        assert batch["trace_id"] == batch_trace
+        assert batch["trace_id"] != trace_id
+
+    def test_unrelated_traces_excluded(self, export_records):
+        records, trace_id, _ = export_records
+        selected = trace_spans(records, trace_id)
+        locates = [
+            r for r in selected if r["name"] == "service.locate"
+        ]
+        assert len(locates) == 1
+        assert locates[0]["trace_id"] == trace_id
+
+    def test_unknown_trace_selects_nothing(self, export_records):
+        records, _, _ = export_records
+        assert trace_spans(records, "f" * 32) == []
+
+
+class TestRenderTrace:
+    def test_header_counts_spans(self, export_records):
+        records, trace_id, _ = export_records
+        text = render_trace(records, trace_id)
+        assert text.startswith(f"trace {trace_id}:")
+        assert "5 spans" in text
+
+    def test_tree_shows_names_and_link_marker(self, export_records):
+        records, trace_id, batch_trace = export_records
+        text = render_trace(records, trace_id)
+        for name in (
+            "service.locate",
+            "service.batch_wait",
+            "service.batch",
+            "correct",
+        ):
+            assert name in text
+        assert f"linked trace {batch_trace[:12]}" in text
+
+    def test_empty_trace_renders_placeholder(self, export_records):
+        records, _, _ = export_records
+        text = render_trace(records, "f" * 32)
+        assert "no spans" in text
