@@ -1,0 +1,108 @@
+"""Ratchet-style waiver baseline for lint findings.
+
+The concurrency rules (RPR013-015) were turned on against a codebase
+with existing debt; the baseline is how that debt is *waived without
+being allowed to grow*, mirroring ``typing_baseline.json``:
+
+* the committed file maps ``"<path>::<rule>"`` to a finding count,
+* at lint time the first N findings under each key are marked
+  :attr:`~repro.analysis.linting.Finding.baselined` (reported, but not
+  failing),
+* finding N+1 under a key -- or any finding under a new key -- fails
+  the run.  Fixing debt and re-running ``--update-baseline`` shrinks
+  the file; it never grows silently.
+
+Paths are repo-root-relative posix strings (the CI invocation is
+``repro lint src --concurrency`` from the repo root), so the file is
+stable across machines.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, List
+
+from repro.analysis.linting import PARSE_ERROR_RULE, Finding, LintReport
+
+#: On-disk format marker, mirroring the typing ratchet baseline.
+BASELINE_FORMAT = "repro-lint-baseline"
+
+#: Default committed baseline consumed by ``repro lint --concurrency``.
+DEFAULT_BASELINE_PATH = "concurrency_baseline.json"
+
+
+def _key(finding: Finding) -> str:
+    return f"{finding.path.replace(chr(92), '/')}::{finding.rule}"
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    """Read a baseline file into its ``path::rule -> count`` mapping.
+
+    Raises:
+        ValueError: the file is not a repro lint baseline.
+    """
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if data.get("format") != BASELINE_FORMAT:
+        raise ValueError(
+            f"{path} is not a {BASELINE_FORMAT} file "
+            f"(format={data.get('format')!r})"
+        )
+    waivers = data.get("waivers", {})
+    return {str(k): int(v) for k, v in waivers.items()}
+
+
+def baseline_from_report(report: LintReport) -> Dict[str, int]:
+    """The ``path::rule -> count`` waiver table for a report's active
+    findings (what ``--update-baseline`` writes)."""
+    counts: Dict[str, int] = {}
+    for finding in report.active:
+        if finding.rule == PARSE_ERROR_RULE:
+            continue
+        key = _key(finding)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def write_baseline(path: Path, waivers: Dict[str, int]) -> None:
+    """Write a baseline file (sorted keys, trailing newline)."""
+    payload = {
+        "format": BASELINE_FORMAT,
+        "version": 1,
+        "comment": (
+            "Waived pre-existing lint findings, path::rule -> count. "
+            "Counts may only shrink; regenerate with "
+            "'repro lint --concurrency --update-baseline' after fixing "
+            "debt."
+        ),
+        "waivers": dict(sorted(waivers.items())),
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def apply_baseline(
+    report: LintReport, waivers: Dict[str, int]
+) -> LintReport:
+    """Mark baselined findings in place and return the report.
+
+    The first N active findings under each ``path::rule`` key (in the
+    report's deterministic path/line order) are marked
+    :attr:`~repro.analysis.linting.Finding.baselined`; anything beyond
+    the waived count stays failing.  Suppressed (noqa) findings do not
+    consume waivers.
+    """
+    remaining = dict(waivers)
+    rewritten: List[Finding] = []
+    for finding in report.findings:
+        if not finding.suppressed and finding.rule != PARSE_ERROR_RULE:
+            key = _key(finding)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                finding = replace(finding, baselined=True)
+        rewritten.append(finding)
+    report.findings[:] = rewritten
+    return report

@@ -1,0 +1,681 @@
+"""Concurrency-safety rules: RPR013 (guarded-by), RPR014 (lock order),
+RPR015 (resource lifetime).
+
+These rules make the repository's thread-safety contract machine-checked:
+
+* **RPR013** reads the guard declarations that
+  :func:`repro.analysis.runtime_locks.guarded_by` records (plus
+  ``# guarded-by: NAME`` trailing comments for module globals and
+  ``__init__``-assigned fields) and verifies every access to a guarded
+  attribute happens lexically inside ``with self.<lock>:`` -- or inside
+  a method tagged ``@holds_lock``, whose contract is that callers bring
+  the lock.
+* **RPR014** extracts each function's lock-acquisition graph from its
+  ``with`` statements, propagates acquisitions through the intra-package
+  call graph, and flags cycles in the resulting held->acquired graph:
+  the static shadow of the tsan-lite runtime checker, catching
+  inversions in paths the test suite never interleaves.
+* **RPR015** tracks ``open``/``SharedMemory``/``socket`` acquisitions
+  through a function and flags resources that are not released on all
+  paths: not a ``with`` context, not closed in a ``finally``, and never
+  handed off (returned, stored on ``self``, passed to another call).
+
+RPR013/RPR015 are per-file :class:`~repro.analysis.linting.Rule`\\ s;
+RPR014 is a :class:`~repro.analysis.linting.ProjectRule` because an
+inversion is, by definition, a property of two call paths that may live
+in different modules.  All three are opt-in via ``repro lint
+--concurrency`` and ratcheted by the committed waiver baseline
+(``concurrency_baseline.json``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.linting import FileContext, Finding, ProjectRule, Rule
+from repro.analysis.rules import dotted_name, enclosing_function, qualname
+
+#: Trailing-comment guard declaration: ``self._x = {}  # guarded-by: _lock``.
+_GUARDED_BY_RE = re.compile(r"#\s*guarded-by:\s*(?P<lock>\w+)")
+
+#: Method names that release a resource for RPR015 purposes.
+_CLOSER_METHODS: Set[str] = {
+    "close",
+    "unlink",
+    "shutdown",
+    "terminate",
+    "release",
+    "stop",
+    "join",
+}
+
+#: Callables whose result owns a releasable OS resource.
+_ACQUIRING_BARE: Set[str] = {"open", "SharedMemory", "socket"}
+_ACQUIRING_DOTTED: Set[str] = {
+    "os.fdopen",
+    "socket.socket",
+    "shared_memory.SharedMemory",
+}
+#: Attribute-call tails that acquire (``path.open(...)``, ``*.SharedMemory``).
+_ACQUIRING_ATTRS: Set[str] = {"open", "SharedMemory"}
+
+
+def _decorator_call(node: ast.expr, name: str) -> Optional[ast.Call]:
+    """The decorator as a Call if it is ``name(...)`` / ``mod.name(...)``."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = dotted_name(node.func)
+    if func is not None and func.split(".")[-1] == name:
+        return node
+    return None
+
+
+def _str_args(call: ast.Call) -> List[str]:
+    """The call's positional string-constant arguments, in order."""
+    out: List[str] = []
+    for arg in call.args:
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            out.append(arg.value)
+    return out
+
+
+def _guard_comments(ctx: FileContext) -> Dict[int, str]:
+    """``# guarded-by: NAME`` declarations by source line number."""
+    table: Dict[int, str] = {}
+    for lineno, line in enumerate(ctx.source.splitlines(), 1):
+        match = _GUARDED_BY_RE.search(line)
+        if match is not None:
+            table[lineno] = match.group("lock")
+    return table
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``X`` when the node is exactly ``self.X``, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _holds_lock_attr(func: ast.AST) -> Optional[str]:
+    """The lock attr of a ``@holds_lock("...")`` decorator, if present."""
+    for dec in getattr(func, "decorator_list", []):
+        call = _decorator_call(dec, "holds_lock")
+        if call is not None:
+            args = _str_args(call)
+            if args:
+                return args[0]
+    return None
+
+
+def _with_holds(ctx: FileContext, node: ast.AST, lock_expr: str) -> bool:
+    """Whether an ancestor ``with`` statement acquires ``lock_expr``
+    (a dotted name such as ``self._lock`` or a bare module name)."""
+    for ancestor in ctx.ancestors(node):
+        if isinstance(ancestor, ast.With):
+            for item in ancestor.items:
+                if dotted_name(item.context_expr) == lock_expr:
+                    return True
+    return False
+
+
+class GuardedFieldDiscipline(Rule):
+    """RPR013: guarded fields touched outside their lock."""
+
+    id = "RPR013"
+    title = "guarded field accessed without its declared lock held"
+    rationale = (
+        "@guarded_by / '# guarded-by:' declarations are the thread-safety "
+        "contract; an access outside 'with self._lock:' (or a @holds_lock "
+        "method) is a data race waiting for traffic."
+    )
+    scopes = None
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        comments = _guard_comments(ctx)
+        yield from self._check_module_globals(ctx, comments)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, node, comments)
+
+    # ------------------------------------------------------------ class
+
+    def _class_guards(
+        self, cls: ast.ClassDef, comments: Dict[int, str]
+    ) -> Dict[str, str]:
+        """``field -> lock attr`` for one class (decorators + comments)."""
+        guards: Dict[str, str] = {}
+        for dec in cls.decorator_list:
+            call = _decorator_call(dec, "guarded_by")
+            if call is None:
+                continue
+            args = _str_args(call)
+            if len(args) >= 2:
+                lock_attr = args[0]
+                for field_name in args[1:]:
+                    guards[field_name] = lock_attr
+        # Trailing comments on `self.X = ...` statements inside the class.
+        for node in ast.walk(cls):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            lock = comments.get(node.lineno)
+            if lock is None:
+                continue
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                field_name = _self_attr(target)
+                if field_name is not None:
+                    guards[field_name] = lock
+        return guards
+
+    def _check_class(
+        self, ctx: FileContext, cls: ast.ClassDef, comments: Dict[int, str]
+    ) -> Iterator[Finding]:
+        guards = self._class_guards(cls, comments)
+        if not guards:
+            return
+        for node in ast.walk(cls):
+            field_name = _self_attr(node)
+            if field_name is None or field_name not in guards:
+                continue
+            lock_attr = guards[field_name]
+            func = enclosing_function(ctx, node)
+            if func is None:
+                continue  # class-level default, not instance state
+            if func.name in ("__init__", "__post_init__"):
+                continue  # construction happens-before sharing
+            if _holds_lock_attr(func) == lock_attr:
+                continue
+            if _with_holds(ctx, node, f"self.{lock_attr}"):
+                continue
+            verb = (
+                "written"
+                if isinstance(getattr(node, "ctx", None), (ast.Store, ast.Del))
+                else "read"
+            )
+            yield ctx.finding(
+                self.id,
+                node,
+                f"{cls.name}.{field_name} is guarded by "
+                f"{lock_attr!r} but {verb} in {qualname(ctx, func)} "
+                f"without 'with self.{lock_attr}:'",
+            )
+
+    # ---------------------------------------------------------- globals
+
+    def _module_guards(
+        self, ctx: FileContext, comments: Dict[int, str]
+    ) -> Dict[str, str]:
+        """``global name -> lock name`` from module-level declarations."""
+        guards: Dict[str, str] = {}
+        for node in ctx.tree.body:
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            lock = comments.get(node.lineno)
+            if lock is None:
+                continue
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    guards[target.id] = lock
+        return guards
+
+    def _check_module_globals(
+        self, ctx: FileContext, comments: Dict[int, str]
+    ) -> Iterator[Finding]:
+        guards = self._module_guards(ctx, comments)
+        if not guards:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Name) or node.id not in guards:
+                continue
+            func = enclosing_function(ctx, node)
+            if func is None:
+                continue  # module-level init happens-before threads
+            lock_name = guards[node.id]
+            if _with_holds(ctx, node, lock_name):
+                continue
+            verb = (
+                "written"
+                if isinstance(node.ctx, (ast.Store, ast.Del))
+                else "read"
+            )
+            yield ctx.finding(
+                self.id,
+                node,
+                f"module global {node.id!r} is guarded by {lock_name!r} "
+                f"but {verb} in {qualname(ctx, func)} without "
+                f"'with {lock_name}:'",
+            )
+
+
+# ---------------------------------------------------------------------------
+# RPR014 -- lock-order inversion cycles
+# ---------------------------------------------------------------------------
+
+
+def _looks_like_lock(name: str) -> bool:
+    return "lock" in name.lower()
+
+
+class _FunctionLocks:
+    """One function's acquisition events and outgoing calls."""
+
+    def __init__(self, key: str, ctx: FileContext, node: ast.AST):
+        self.key = key
+        self.ctx = ctx
+        self.node = node
+        #: (held ranks at that point, acquired rank, with node)
+        self.acquires: List[Tuple[Tuple[str, ...], str, ast.AST]] = []
+        #: (held ranks at the call site, callee key candidates)
+        self.calls: List[Tuple[Tuple[str, ...], str]] = []
+
+
+class LockOrderInversion(ProjectRule):
+    """RPR014: cycles in the package-wide lock-acquisition graph."""
+
+    id = "RPR014"
+    title = "potential lock-order inversion (cycle in acquisition graph)"
+    rationale = (
+        "if one path acquires A then B and another B then A, two threads "
+        "can deadlock; the cycle is visible statically long before the "
+        "interleaving that hangs the service"
+    )
+    scopes = None
+
+    def check_project(
+        self, ctxs: Sequence[FileContext]
+    ) -> Iterator[Finding]:
+        functions: Dict[str, _FunctionLocks] = {}
+        for ctx in ctxs:
+            self._scan_file(ctx, functions)
+        closure = self._transitive_acquisitions(functions)
+        edges: Dict[Tuple[str, str], Tuple[FileContext, ast.AST]] = {}
+        for info in functions.values():
+            for held, acquired, node in info.acquires:
+                for rank in held:
+                    edges.setdefault((rank, acquired), (info.ctx, node))
+            for held, callee in info.calls:
+                target = functions.get(callee)
+                if target is None or not held:
+                    continue
+                for rank in held:
+                    for acquired in closure.get(callee, set()):
+                        edges.setdefault(
+                            (rank, acquired), (info.ctx, target.node)
+                        )
+        yield from self._report_cycles(edges)
+
+    # ------------------------------------------------------------- scan
+
+    def _module_key(self, ctx: FileContext) -> str:
+        return ctx.rel.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+
+    def _lock_rank(
+        self,
+        ctx: FileContext,
+        expr: ast.expr,
+        cls: Optional[ast.ClassDef],
+    ) -> Optional[str]:
+        """Canonical rank for a ``with`` context expression, or None.
+
+        ``self.X`` inside class C -> ``C.X``; a method parameter's
+        ``.X`` where class C also has an ``X``-named lock -> ``C.X``
+        (the ``merge(self, other)`` idiom); a bare module-level name ->
+        ``module:NAME``.  Only names containing "lock" count.
+        """
+        if isinstance(expr, ast.Attribute):
+            attr = expr.attr
+            if not _looks_like_lock(attr):
+                return None
+            if isinstance(expr.value, ast.Name) and cls is not None:
+                return f"{cls.name}.{attr}"
+            return None
+        if isinstance(expr, ast.Name) and _looks_like_lock(expr.id):
+            return f"{self._module_key(ctx)}:{expr.id}"
+        return None
+
+    def _scan_file(
+        self, ctx: FileContext, functions: Dict[str, _FunctionLocks]
+    ) -> None:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            cls = next(
+                (
+                    a
+                    for a in ctx.ancestors(node)
+                    if isinstance(a, ast.ClassDef)
+                ),
+                None,
+            )
+            key = f"{self._module_key(ctx)}:{qualname(ctx, node)}"
+            info = _FunctionLocks(key, ctx, node)
+            for child in ast.iter_child_nodes(node):
+                self._visit(ctx, child, cls, info, held=())
+            functions[info.key] = info
+
+    def _visit(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        cls: Optional[ast.ClassDef],
+        info: _FunctionLocks,
+        held: Tuple[str, ...],
+    ) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # nested defs run later, with their own stack
+        if isinstance(node, ast.With):
+            inner = held
+            for item in node.items:
+                self._visit(ctx, item.context_expr, cls, info, inner)
+                rank = self._lock_rank(ctx, item.context_expr, cls)
+                if rank is not None:
+                    info.acquires.append((inner, rank, node))
+                    inner = inner + (rank,)
+            for stmt in node.body:
+                self._visit(ctx, stmt, cls, info, inner)
+            return
+        if isinstance(node, ast.Call):
+            self._note_call(ctx, node, cls, info, held)
+        for child in ast.iter_child_nodes(node):
+            self._visit(ctx, child, cls, info, held)
+
+    def _note_call(
+        self,
+        ctx: FileContext,
+        node: ast.Call,
+        cls: Optional[ast.ClassDef],
+        info: _FunctionLocks,
+        held: Tuple[str, ...],
+    ) -> None:
+        module = self._module_key(ctx)
+        attr = _self_attr(node.func)
+        if attr is not None and cls is not None:
+            info.calls.append((held, f"{module}:{cls.name}.{attr}"))
+        elif isinstance(node.func, ast.Name):
+            info.calls.append((held, f"{module}:{node.func.id}"))
+
+    # -------------------------------------------------------- propagate
+
+    def _transitive_acquisitions(
+        self, functions: Dict[str, _FunctionLocks]
+    ) -> Dict[str, Set[str]]:
+        closure: Dict[str, Set[str]] = {
+            key: {rank for _, rank, _ in info.acquires}
+            for key, info in functions.items()
+        }
+        changed = True
+        while changed:
+            changed = False
+            for key, info in functions.items():
+                mine = closure[key]
+                before = len(mine)
+                for _, callee in info.calls:
+                    callee_set = closure.get(callee)
+                    if callee_set:
+                        mine |= callee_set
+                if len(mine) != before:
+                    changed = True
+        return closure
+
+    # ----------------------------------------------------------- cycles
+
+    def _report_cycles(
+        self,
+        edges: Dict[Tuple[str, str], Tuple[FileContext, ast.AST]],
+    ) -> Iterator[Finding]:
+        graph: Dict[str, Set[str]] = {}
+        for a, b in edges:
+            graph.setdefault(a, set()).add(b)
+            graph.setdefault(b, set())
+        reported: Set[Tuple[str, ...]] = set()
+        for a, b in sorted(edges):
+            if a == b:
+                ctx, node = edges[(a, b)]
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"lock {a!r} acquired while already held "
+                    f"(same-rank nesting deadlocks across instances)",
+                )
+                continue
+            path = self._find_path(graph, b, a)
+            if path is None:
+                continue
+            cycle = tuple(sorted({a, *path}))
+            if cycle in reported:
+                continue
+            reported.add(cycle)
+            ctx, node = edges[(a, b)]
+            chain = " -> ".join([a, *path])
+            yield ctx.finding(
+                self.id,
+                node,
+                f"lock-order inversion cycle: {chain} (edge "
+                f"{a!r} -> {b!r} here closes the cycle)",
+            )
+
+    @staticmethod
+    def _find_path(
+        graph: Dict[str, Set[str]], start: str, goal: str
+    ) -> Optional[List[str]]:
+        """Shortest rank path start -> ... -> goal, or None."""
+        frontier: List[List[str]] = [[start]]
+        seen = {start}
+        while frontier:
+            nxt: List[List[str]] = []
+            for path in frontier:
+                for succ in sorted(graph.get(path[-1], ())):
+                    if succ == goal:
+                        return path + [succ]
+                    if succ not in seen:
+                        seen.add(succ)
+                        nxt.append(path + [succ])
+            frontier = nxt
+        return None
+
+
+# ---------------------------------------------------------------------------
+# RPR015 -- resource lifetime
+# ---------------------------------------------------------------------------
+
+
+class ResourceLifetime(Rule):
+    """RPR015: acquired OS resources not released on all paths."""
+
+    id = "RPR015"
+    title = "resource not closed on all paths"
+    rationale = (
+        "an open()/SharedMemory()/socket() whose close lives outside a "
+        "'with' or 'finally' leaks the handle on the exception path -- "
+        "under real traffic that is fd exhaustion or a leaked segment"
+    )
+    scopes = None
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield from self._check_function(ctx, node)
+
+    def _acquires(self, call: ast.Call) -> Optional[str]:
+        """The resource kind a call acquires, or None."""
+        name = dotted_name(call.func)
+        if name in _ACQUIRING_BARE or name in _ACQUIRING_DOTTED:
+            return name
+        if isinstance(call.func, ast.Attribute):
+            if call.func.attr in _ACQUIRING_ATTRS:
+                tail = call.func.attr
+                return f"*.{tail}"
+        return None
+
+    def _check_function(
+        self, ctx: FileContext, func: ast.AST
+    ) -> Iterator[Finding]:
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            if enclosing_function(ctx, node) is not func:
+                continue  # belongs to a nested def
+            kind = self._acquires(node)
+            if kind is None:
+                continue
+            parent = ctx.parent(node)
+            if self._transferred(ctx, node, parent):
+                continue
+            if isinstance(parent, ast.Assign):
+                yield from self._check_assigned(
+                    ctx, func, node, parent, kind
+                )
+                continue
+            yield ctx.finding(
+                self.id,
+                node,
+                f"{kind}(...) result in {qualname(ctx, func)} is never "
+                f"closed (not a 'with' target, not handed off)",
+            )
+
+    @staticmethod
+    def _transferred(
+        ctx: FileContext, call: ast.Call, parent: Optional[ast.AST]
+    ) -> bool:
+        """Whether the fresh resource immediately leaves our hands."""
+        if isinstance(parent, ast.withitem):
+            return True
+        if isinstance(parent, (ast.Return, ast.Yield, ast.YieldFrom)):
+            return True
+        if isinstance(parent, ast.Call) and parent is not call:
+            return True  # argument: ownership transferred to the callee
+        if isinstance(parent, ast.Attribute):
+            return True  # immediately chained (e.g. Path(...).open handled)
+        if isinstance(parent, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                parent.targets
+                if isinstance(parent, ast.Assign)
+                else [parent.target]
+            )
+            for target in targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    return True  # stored on an object: object's lifetime
+        return False
+
+    def _check_assigned(
+        self,
+        ctx: FileContext,
+        func: ast.AST,
+        call: ast.Call,
+        assign: ast.Assign,
+        kind: str,
+    ) -> Iterator[Finding]:
+        target = assign.targets[0]
+        if not isinstance(target, ast.Name):
+            return
+        name = target.id
+        closed_in_finally = False
+        closed_elsewhere = False
+        for node in ast.walk(func):
+            if node is call:
+                continue
+            if self._is_closer(node, name):
+                if self._in_finally(ctx, node, func):
+                    closed_in_finally = True
+                else:
+                    closed_elsewhere = True
+            elif self._escapes(node, name, assign):
+                return  # handed off / with-managed: not ours to close
+        if closed_in_finally:
+            return
+        if closed_elsewhere:
+            yield ctx.finding(
+                self.id,
+                call,
+                f"{kind}(...) bound to {name!r} in {qualname(ctx, func)} "
+                f"is closed only on the success path (use 'with' or "
+                f"'try/finally')",
+            )
+        else:
+            yield ctx.finding(
+                self.id,
+                call,
+                f"{kind}(...) bound to {name!r} in {qualname(ctx, func)} "
+                f"is never closed",
+            )
+
+    @staticmethod
+    def _is_closer(node: ast.AST, name: str) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _CLOSER_METHODS
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == name
+        )
+
+    @staticmethod
+    def _in_finally(
+        ctx: FileContext, node: ast.AST, func: ast.AST
+    ) -> bool:
+        child = node
+        for ancestor in ctx.ancestors(node):
+            if isinstance(ancestor, ast.Try) and any(
+                child is stmt or _contains(stmt, child)
+                for stmt in ancestor.finalbody
+            ):
+                return True
+            if ancestor is func:
+                return False
+            child = ancestor
+        return False
+
+    @staticmethod
+    def _escapes(node: ast.AST, name: str, assign: ast.Assign) -> bool:
+        """Whether the named resource is handed off after acquisition."""
+        if isinstance(node, ast.withitem):
+            expr = node.context_expr
+            if isinstance(expr, ast.Name) and expr.id == name:
+                return True
+        if isinstance(node, (ast.Return, ast.Yield)) and node is not assign:
+            value = node.value
+            if isinstance(value, ast.Name) and value.id == name:
+                return True
+        if isinstance(node, ast.Call):
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if isinstance(arg, ast.Name) and arg.id == name:
+                    return True
+        if isinstance(node, ast.Assign) and node is not assign:
+            if isinstance(node.value, ast.Name) and node.value.id == name:
+                for target in node.targets:
+                    if isinstance(target, (ast.Attribute, ast.Subscript)):
+                        return True
+        return False
+
+
+def _contains(tree: ast.AST, needle: ast.AST) -> bool:
+    return any(node is needle for node in ast.walk(tree))
+
+
+#: The opt-in concurrency rule classes, CLI/report order.
+CONCURRENCY_RULES: Tuple[type, ...] = (
+    GuardedFieldDiscipline,
+    LockOrderInversion,
+    ResourceLifetime,
+)
+
+
+def concurrency_rules() -> List[Rule]:
+    """Fresh instances of the concurrency rule set."""
+    return [cls() for cls in CONCURRENCY_RULES]

@@ -1,0 +1,357 @@
+"""tsan-lite: runtime lock-order and guarded-field checking.
+
+The static concurrency rules (:mod:`repro.analysis.concurrency`) prove
+what they can see lexically; this module catches what they cannot -- the
+*observed* behaviour of the running system.  Three pieces:
+
+* :func:`make_lock` -- the lock factory every lock-holding module in the
+  repository routes through.  Disabled (the default) it returns a plain
+  ``threading.Lock``; enabled it returns a :class:`CheckedLock` that
+  reports every acquisition to the process-wide
+  :class:`LockOrderRegistry`.
+* :class:`LockOrderRegistry` -- records the acquisition DAG per lock
+  *name* (the lock's rank, e.g. ``"SteeringCache._lock"``): an edge
+  ``A -> B`` means some thread acquired B while holding A.  Acquiring in
+  an order whose reverse edge is already on record raises
+  :class:`~repro.errors.ConcurrencyViolation` *before* the acquisition
+  can deadlock -- the classic single-run lock-order checker: the
+  inversion is caught even when the interleaving that would deadlock
+  never happens.
+* :func:`guarded_by` / :func:`holds_lock` -- declaration decorators.
+  ``@guarded_by("_lock", "_refs")`` on a class declares that ``_refs``
+  may only be written while ``self._lock`` is held; the declaration is
+  read statically by lint rule RPR013 and, when checks are enabled,
+  enforced at runtime through a ``__setattr__`` wrapper.
+  ``@holds_lock("_lock")`` on a method declares (and, enabled, asserts)
+  that callers enter it with the lock already held.
+
+Like the ``@shaped`` contracts, the whole layer is **zero-cost when
+disabled**: gating happens when the lock is created / the class is
+decorated, driven by the ``REPRO_LOCK_CHECKS`` environment variable.
+``tests/conftest.py`` enables it for the whole suite, so every tier-1
+run doubles as a lock-discipline audit.
+
+Scope notes (deliberate):
+
+* Ranking is by lock *name*, not instance -- two instruments of the
+  same class share a rank, so cross-instance nesting of same-ranked
+  locks is reported as an inversion (it is one: two threads nesting
+  opposite instances deadlock).
+* Only attribute *rebinds* are checked at runtime (``self._x = ...``);
+  in-place container mutation and reads are the static pass's job.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import traceback
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type, Union
+
+from repro.errors import ConcurrencyViolation, ConfigurationError
+
+#: Environment variable gating the runtime lock checks ("1"/"true"/"on").
+LOCK_CHECKS_ENV_VAR = "REPRO_LOCK_CHECKS"
+
+_TRUTHY = {"1", "true", "on", "yes"}
+
+#: Attribute set on instances of @guarded_by classes once __init__ has
+#: finished; guarded-field writes are only checked after construction.
+_READY_FLAG = "_repro_guard_ready"
+
+
+def lock_checks_enabled() -> bool:
+    """Whether tsan-lite is active (read at lock-creation time)."""
+    return (
+        os.environ.get(LOCK_CHECKS_ENV_VAR, "").strip().lower() in _TRUTHY
+    )
+
+
+def _call_site() -> str:
+    """``file:line`` of the nearest caller outside this module."""
+    for frame in reversed(traceback.extract_stack(limit=12)):
+        if not frame.filename.endswith("runtime_locks.py"):
+            return f"{frame.filename}:{frame.lineno}"
+    return "<unknown>"
+
+
+class LockOrderRegistry:
+    """Process-wide observed lock-acquisition DAG, keyed by lock name.
+
+    Thread-safety: the edge table is guarded by an internal plain
+    ``threading.Lock`` (never a :class:`CheckedLock` -- the checker must
+    not check itself); each thread's held-lock stack is thread-local.
+    """
+
+    def __init__(self) -> None:
+        # (held name, acquired name) -> site string of first observation.
+        self._edges: Dict[Tuple[str, str], str] = {}
+        self._held = threading.local()
+        self._guard = threading.Lock()
+
+    def _stack(self) -> List[Tuple[str, "CheckedLock"]]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = []
+            self._held.stack = stack
+        return stack
+
+    def held_names(self) -> Tuple[str, ...]:
+        """Names of locks the calling thread currently holds, in
+        acquisition order."""
+        return tuple(name for name, _ in self._stack())
+
+    def observed_edges(self) -> Dict[Tuple[str, str], str]:
+        """Copy of the observed DAG: ``(held, acquired) -> first site``."""
+        with self._guard:
+            return dict(self._edges)
+
+    def reset(self) -> None:
+        """Forget every observed edge (held stacks are per-thread and
+        drain naturally)."""
+        with self._guard:
+            self._edges.clear()
+
+    # ------------------------------------------------------------ hooks
+
+    def note_acquire(self, lock: "CheckedLock") -> None:
+        """Pre-acquisition check: runs *before* blocking on the lock.
+
+        Raises:
+            ConcurrencyViolation: re-acquiring a held non-reentrant lock
+                (certain deadlock), nesting two locks of the same rank,
+                or acquiring against an order already observed reversed.
+        """
+        stack = self._stack()
+        site = _call_site()
+        for held_name, held_lock in stack:
+            if held_lock is lock:
+                raise ConcurrencyViolation(
+                    f"lock {lock.name!r} re-acquired by the thread that "
+                    f"already holds it at {site} -- threading.Lock is "
+                    f"not reentrant; this deadlocks"
+                )
+            if held_name == lock.name:
+                raise ConcurrencyViolation(
+                    f"two locks of rank {lock.name!r} nested at {site} "
+                    f"-- same-rank nesting deadlocks when two threads "
+                    f"take the instances in opposite order"
+                )
+        with self._guard:
+            for held_name, _ in stack:
+                reverse = self._edges.get((lock.name, held_name))
+                if reverse is not None:
+                    chain = " -> ".join(
+                        [*(n for n, _ in stack), lock.name]
+                    )
+                    raise ConcurrencyViolation(
+                        f"lock-order inversion: acquiring {lock.name!r} "
+                        f"while holding {held_name!r} at {site}, but the "
+                        f"opposite order {lock.name!r} -> {held_name!r} "
+                        f"was observed at {reverse} (held chain: {chain})"
+                    )
+            for held_name, _ in stack:
+                self._edges.setdefault((held_name, lock.name), site)
+
+    def note_acquired(self, lock: "CheckedLock") -> None:
+        """Record a successful acquisition on the thread's held stack."""
+        self._stack().append((lock.name, lock))
+
+    def note_release(self, lock: "CheckedLock") -> None:
+        """Drop the lock from the thread's held stack (by identity)."""
+        stack = self._stack()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index][1] is lock:
+                del stack[index]
+                return
+
+
+_DEFAULT_REGISTRY = LockOrderRegistry()
+
+
+def default_registry() -> LockOrderRegistry:
+    """The process-wide registry every :func:`make_lock` lock reports to."""
+    return _DEFAULT_REGISTRY
+
+
+class CheckedLock:
+    """A named, order-checked, owner-tracking ``threading.Lock`` stand-in.
+
+    Drop-in for the ``with self._lock:`` discipline used across the
+    repository.  Every acquisition is checked against the registry's
+    observed DAG first (see :meth:`LockOrderRegistry.note_acquire`), so
+    an inversion raises instead of (maybe, someday) deadlocking.
+
+    Attributes:
+        name: the lock's rank in the acquisition DAG.
+    """
+
+    __slots__ = ("name", "_inner", "_registry", "_owner")
+
+    def __init__(
+        self, name: str, registry: Optional[LockOrderRegistry] = None
+    ):
+        if not name:
+            raise ConfigurationError("a CheckedLock needs a non-empty name")
+        self.name = name
+        self._inner = threading.Lock()
+        self._registry = registry if registry is not None else _DEFAULT_REGISTRY
+        self._owner: Optional[int] = None
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        """Acquire after the order check; mirrors ``Lock.acquire``."""
+        self._registry.note_acquire(self)
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._owner = threading.get_ident()
+            self._registry.note_acquired(self)
+        return acquired
+
+    def release(self) -> None:
+        """Release and clear ownership; mirrors ``Lock.release``."""
+        self._owner = None
+        self._registry.note_release(self)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        """Whether any thread holds the lock."""
+        return self._inner.locked()
+
+    def held_by_current_thread(self) -> bool:
+        """Whether the *calling* thread holds the lock."""
+        return self._owner == threading.get_ident()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        state = "locked" if self.locked() else "unlocked"
+        return f"<CheckedLock {self.name!r} {state}>"
+
+
+#: What lock-holding modules annotate their lock attributes as.
+LockLike = Union[threading.Lock, CheckedLock]
+
+
+def make_lock(name: str) -> LockLike:
+    """The repository's lock factory.
+
+    Returns a plain ``threading.Lock`` when the checks are disabled (the
+    production default: zero overhead, zero behaviour change) and a
+    :class:`CheckedLock` ranked ``name`` when ``REPRO_LOCK_CHECKS`` is
+    truthy.  The environment is read per call, so objects constructed
+    inside an enabled test run are checked even though their module was
+    imported earlier.
+    """
+    if lock_checks_enabled():
+        return CheckedLock(name)
+    return threading.Lock()
+
+
+# ---------------------------------------------------------------------------
+# Guard declarations
+# ---------------------------------------------------------------------------
+
+
+def guarded_by(lock_attr: str, *fields: str) -> Callable[[type], type]:
+    """Class decorator declaring fields guarded by a lock attribute.
+
+    ``@guarded_by("_lock", "_refs", "_shm")`` declares that ``_refs``
+    and ``_shm`` may only be accessed while ``self._lock`` is held.  The
+    declaration is recorded on the class as ``__guarded_fields__``
+    (``field -> lock attribute``) where both the static RPR013 pass and
+    this module's runtime enforcement read it.  Decorators stack: a
+    class may declare different fields under different locks.
+
+    Runtime enforcement (only when ``REPRO_LOCK_CHECKS`` was truthy at
+    class-decoration time) wraps ``__setattr__``: rebinding a guarded
+    field after ``__init__`` finishes, while the guard is a
+    :class:`CheckedLock` the calling thread does not hold, raises
+    :class:`~repro.errors.ConcurrencyViolation`.  Reads and in-place
+    container mutation are checked statically, not here.
+    """
+    if not fields:
+        raise ConfigurationError(
+            "@guarded_by needs at least one field name after the lock"
+        )
+
+    def decorate(cls: type) -> type:
+        declared = dict(getattr(cls, "__guarded_fields__", {}))
+        for field_name in fields:
+            declared[field_name] = lock_attr
+        cls.__guarded_fields__ = declared  # type: ignore[attr-defined]
+        if not lock_checks_enabled():
+            return cls
+        if getattr(cls, "_repro_guard_installed", None) is not cls:
+            _install_guard_enforcement(cls)
+        return cls
+
+    return decorate
+
+
+def _install_guard_enforcement(cls: type) -> None:
+    """Wrap ``__init__``/``__setattr__`` to enforce guarded writes."""
+    original_init = cls.__init__
+    original_setattr = cls.__setattr__
+
+    def checked_init(self: Any, *args: Any, **kwargs: Any) -> None:
+        original_init(self, *args, **kwargs)
+        object.__setattr__(self, _READY_FLAG, True)
+
+    def checked_setattr(self: Any, name: str, value: Any) -> None:
+        guard_attr = type(self).__guarded_fields__.get(name)
+        if guard_attr is not None and getattr(self, _READY_FLAG, False):
+            guard = getattr(self, guard_attr, None)
+            if isinstance(guard, CheckedLock) and not (
+                guard.held_by_current_thread()
+            ):
+                raise ConcurrencyViolation(
+                    f"{type(self).__name__}.{name} is guarded by "
+                    f"{guard_attr!r} but was written at {_call_site()} "
+                    f"without the lock held"
+                )
+        original_setattr(self, name, value)
+
+    cls.__init__ = checked_init  # type: ignore[method-assign]
+    cls.__setattr__ = checked_setattr  # type: ignore[method-assign]
+    cls._repro_guard_installed = cls  # type: ignore[attr-defined]
+
+
+def holds_lock(lock_attr: str) -> Callable[[Callable], Callable]:
+    """Method decorator: callers must already hold ``self.<lock_attr>``.
+
+    The static RPR013 pass treats a ``@holds_lock("_lock")`` method's
+    guarded-field accesses as lock-held (the tag is the method's
+    contract); at runtime (checks enabled at decoration time) entering
+    the method with a :class:`CheckedLock` guard the calling thread does
+    not hold raises :class:`~repro.errors.ConcurrencyViolation` -- so a
+    stale tag cannot quietly outlive the call sites that honoured it.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        fn.__repro_holds_lock__ = lock_attr  # type: ignore[attr-defined]
+        if not lock_checks_enabled():
+            return fn
+
+        import functools
+
+        @functools.wraps(fn)
+        def wrapper(self: Any, *args: Any, **kwargs: Any) -> Any:
+            guard = getattr(self, lock_attr, None)
+            if isinstance(guard, CheckedLock) and not (
+                guard.held_by_current_thread()
+            ):
+                raise ConcurrencyViolation(
+                    f"{type(self).__name__}.{fn.__name__} is tagged "
+                    f"@holds_lock({lock_attr!r}) but was entered at "
+                    f"{_call_site()} without the lock held"
+                )
+            return fn(self, *args, **kwargs)
+
+        wrapper.__repro_holds_lock__ = lock_attr  # type: ignore[attr-defined]
+        return wrapper
+
+    return decorate

@@ -29,13 +29,13 @@ Ownership rules:
 from __future__ import annotations
 
 import os
-import threading
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.runtime_locks import guarded_by, make_lock
 from repro.core.engine import SteeringEntry
 from repro.errors import ConfigurationError
 from repro.utils.gridmap import Grid2D
@@ -43,8 +43,8 @@ from repro.utils.gridmap import Grid2D
 #: Live owner-side segments of this process: name -> owning pid.
 #: Guarded by _SEGMENTS_LOCK; introspected by tests via
 #: :func:`active_segments` to prove sweeps leak nothing.
-_SEGMENTS: Dict[str, int] = {}
-_SEGMENTS_LOCK = threading.Lock()
+_SEGMENTS: Dict[str, int] = {}  # guarded-by: _SEGMENTS_LOCK
+_SEGMENTS_LOCK = make_lock("parallel._SEGMENTS_LOCK")
 
 
 @dataclass(frozen=True)
@@ -170,6 +170,7 @@ class AttachedSteering:
             self._shm = None
 
 
+@guarded_by("_lock", "_refs", "_shm")
 class SharedSteeringSegment:
     """Owner side of one published steering segment (refcounted).
 
@@ -191,7 +192,7 @@ class SharedSteeringSegment:
         self._shm: Optional[shared_memory.SharedMemory] = shm
         self.handle = handle
         self._refs = 1
-        self._lock = threading.Lock()
+        self._lock = make_lock("SharedSteeringSegment._lock")
         with _SEGMENTS_LOCK:
             _SEGMENTS[handle.name] = os.getpid()
 
@@ -283,21 +284,32 @@ def publish_steering_entry(
         + len(matrix_keys) * n * k * np.dtype(np.complex128).itemsize
     )
     shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
-    offset = 0
-    reference = np.ndarray(
-        (n,), dtype=np.float64, buffer=shm.buf, offset=offset
-    )
-    reference[...] = entry.reference_distances_m
-    offset += reference.nbytes
-    for key in matrix_keys:
-        matrix = np.ndarray(
-            (n, k), dtype=np.complex128, buffer=shm.buf, offset=offset
+    try:
+        offset = 0
+        reference = np.ndarray(
+            (n,), dtype=np.float64, buffer=shm.buf, offset=offset
         )
-        matrix[...] = entry.matrices[key]
-        offset += matrix.nbytes
-        del matrix  # writable views must not outlive publication
-    del reference
-    handle = SharedSteeringHandle(name=shm.name, **handle_fields)
+        reference[...] = entry.reference_distances_m
+        offset += reference.nbytes
+        for key in matrix_keys:
+            matrix = np.ndarray(
+                (n, k), dtype=np.complex128, buffer=shm.buf, offset=offset
+            )
+            matrix[...] = entry.matrices[key]
+            offset += matrix.nbytes
+            del matrix  # writable views must not outlive publication
+        del reference
+        handle = SharedSteeringHandle(name=shm.name, **handle_fields)
+    except BaseException:  # repro: noqa[RPR008] -- cleanup-and-reraise; even KeyboardInterrupt must not leak the segment
+        # A failed fill must not leak the freshly created segment: no
+        # SharedSteeringSegment owns it yet, so nothing else ever would
+        # close or unlink it (RPR015's exception-path case).
+        _release_shm(shm)
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+        raise
     return SharedSteeringSegment(shm, handle)
 
 
@@ -332,7 +344,7 @@ def _register_noop(name: str, rtype: str) -> None:
     """Stand-in for ``resource_tracker.register`` during attach."""
 
 
-_TRACKER_PATCH_LOCK = threading.Lock()
+_TRACKER_PATCH_LOCK = make_lock("parallel._TRACKER_PATCH_LOCK")
 
 
 def attach_steering(handle: SharedSteeringHandle) -> AttachedSteering:

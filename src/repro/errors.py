@@ -53,3 +53,10 @@ class ContractViolation(ReproError):
     """A runtime shape/dtype contract (:mod:`repro.analysis.contracts`)
     was broken: an array argument's shape, dtype, or cross-parameter
     dimension binding does not match the declared invariant."""
+
+
+class ConcurrencyViolation(ReproError):
+    """A runtime concurrency contract (:mod:`repro.analysis.runtime_locks`)
+    was broken: a lock-order inversion against the observed acquisition
+    DAG, a guarded field written without its lock held, or a
+    ``@holds_lock`` method entered lock-free."""

@@ -40,6 +40,7 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.analysis.runtime_locks import make_lock
 from repro.errors import ConfigurationError
 from repro.obs.context import Observability
 from repro.obs.export import _json_safe
@@ -222,7 +223,7 @@ class RunLedger:
 
     def __init__(self, path: Optional[Union[str, Path]] = None):
         self.path = Path(path) if path is not None else default_ledger_path()
-        self._lock = threading.Lock()
+        self._lock = make_lock("RunLedger._lock")
 
     def append(self, record: Union[RunRecord, dict]) -> dict:
         """Append one record; returns the dict actually written.

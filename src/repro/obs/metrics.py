@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import bisect
 import math
-import threading
 import time
 from typing import (
     Dict,
@@ -30,6 +29,7 @@ from typing import (
     Union,
 )
 
+from repro.analysis.runtime_locks import guarded_by, make_lock
 from repro.errors import ConfigurationError
 
 Number = Union[int, float]
@@ -66,6 +66,7 @@ LATENCY_BUCKETS_S: Tuple[float, ...] = (
 COUNT_BUCKETS: Tuple[float, ...] = (0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32)
 
 
+@guarded_by("_lock", "_value")
 class Counter:
     """A monotonically increasing count.
 
@@ -78,12 +79,13 @@ class Counter:
     def __init__(self, name: str):
         self.name = name
         self._value = 0.0
-        self._lock = threading.Lock()
+        self._lock = make_lock("Counter._lock")
 
     @property
     def value(self) -> float:
-        """Current total."""
-        return self._value
+        """Current total (read under the instrument lock)."""
+        with self._lock:
+            return self._value
 
     def inc(self, amount: Number = 1) -> None:
         """Add ``amount`` (must be >= 0) to the counter (thread-safe)."""
@@ -100,9 +102,13 @@ class Counter:
 
     def snapshot(self) -> dict:
         """Plain-data view for export."""
-        return {"type": "counter", "name": self.name, "value": self._value}
+        with self._lock:
+            return {
+                "type": "counter", "name": self.name, "value": self._value
+            }
 
 
+@guarded_by("_lock", "_value")
 class Gauge:
     """A value that can go up and down (last write wins)."""
 
@@ -111,12 +117,14 @@ class Gauge:
     def __init__(self, name: str):
         self.name = name
         self._value = float("nan")
-        self._lock = threading.Lock()
+        self._lock = make_lock("Gauge._lock")
 
     @property
     def value(self) -> float:
-        """Last set value (NaN before the first set)."""
-        return self._value
+        """Last set value (NaN before the first set); read under the
+        instrument lock."""
+        with self._lock:
+            return self._value
 
     def set(self, value: Number) -> None:
         """Record the current value (thread-safe)."""
@@ -140,9 +148,15 @@ class Gauge:
 
     def snapshot(self) -> dict:
         """Plain-data view for export."""
-        return {"type": "gauge", "name": self.name, "value": self._value}
+        with self._lock:
+            return {
+                "type": "gauge", "name": self.name, "value": self._value
+            }
 
 
+@guarded_by(
+    "_lock", "_counts", "_count", "_sum", "_min", "_max", "_exemplars"
+)
 class Histogram:
     """Fixed-bucket histogram with ``le`` (less-or-equal) upper bounds.
 
@@ -175,27 +189,31 @@ class Histogram:
         self._sum = 0.0
         self._min = float("inf")
         self._max = float("-inf")
-        self._lock = threading.Lock()
+        self._lock = make_lock("Histogram._lock")
 
     @property
     def count(self) -> int:
         """Total number of observations."""
-        return self._count
+        with self._lock:
+            return self._count
 
     @property
     def sum(self) -> float:
         """Sum of all observed values."""
-        return self._sum
+        with self._lock:
+            return self._sum
 
     @property
     def min(self) -> float:
         """Smallest observation (inf before the first observe)."""
-        return self._min
+        with self._lock:
+            return self._min
 
     @property
     def max(self) -> float:
         """Largest observation (-inf before the first observe)."""
-        return self._max
+        with self._lock:
+            return self._max
 
     def observe(
         self, value: Number, trace_id: Optional[str] = None
@@ -332,8 +350,12 @@ class Histogram:
                     self._exemplars[i] = exemplar
 
     def mean(self) -> float:
-        """Mean of the observations (NaN when empty)."""
-        return self._sum / self._count if self._count else float("nan")
+        """Mean of the observations (NaN when empty); sum and count are
+        read under the lock so the ratio is internally consistent."""
+        with self._lock:
+            if not self._count:
+                return float("nan")
+            return self._sum / self._count
 
     def percentile(self, q: float) -> float:
         """Estimate the q-th percentile (q in [0, 100]) from the buckets.
@@ -395,6 +417,7 @@ class Histogram:
 Instrument = Union[Counter, Gauge, Histogram]
 
 
+@guarded_by("_lock", "_instruments")
 class MetricsRegistry:
     """Named instruments for one observability session.
 
@@ -406,7 +429,7 @@ class MetricsRegistry:
 
     def __init__(self):
         self._instruments: Dict[str, Instrument] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock("MetricsRegistry._lock")
 
     def _get_or_create(self, name: str, factory, kind: str) -> Instrument:
         with self._lock:

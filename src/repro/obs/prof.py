@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from types import TracebackType
 from typing import Callable, Dict, List, Optional, Tuple, Type
 
+from repro.analysis.runtime_locks import make_lock
 from repro.errors import ConfigurationError
 from repro.obs.trace import Tracer
 
@@ -129,7 +130,7 @@ class SamplingProfiler:
         self._sleep = sleep
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
-        self._lock = threading.Lock()
+        self._lock = make_lock("SamplingProfiler._lock")
 
     def sample_once(self) -> None:
         """Take one sampling pass over every thread's open spans.

@@ -33,6 +33,7 @@ from typing import (
     Union,
 )
 
+from repro.analysis.runtime_locks import guarded_by, make_lock
 from repro.errors import ConfigurationError
 
 #: Version prefix emitted in ``traceparent`` headers (W3C trace-context).
@@ -200,6 +201,7 @@ class _SpanContext:
         return False
 
 
+@guarded_by("_lock", "_finished", "_seen_ids", "_stacks")
 class Tracer:
     """Collects spans with a thread-local active-span stack.
 
@@ -222,7 +224,7 @@ class Tracer:
         self.clock = clock
         self._ids = itertools.count(1 + id_offset)
         self._local = threading.local()
-        self._lock = threading.Lock()
+        self._lock = make_lock("Tracer._lock")
         self._finished: List[Span] = []
         # Ids of every span this tracer has collected (own or absorbed),
         # kept so absorb() can reject offset-contract violations instead

@@ -35,7 +35,6 @@ import hashlib
 import json
 import math
 import os
-import threading
 import time
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -59,6 +58,7 @@ from repro.service.pool import (
     LocalizerPool,
     UnknownScenarioError,
 )
+from repro.analysis.runtime_locks import guarded_by, holds_lock, make_lock
 from repro.service.ratelimit import RateLimiter
 from repro.service.schema import (
     MAX_BODY_BYTES,
@@ -83,6 +83,7 @@ def _key_digest(api_key: Optional[str]) -> str:
     return hashlib.sha256(api_key.encode("utf-8")).hexdigest()[:8]
 
 
+@guarded_by("_lock", "_fh", "_size")
 class RotatingNdjsonLog:
     """Append-only NDJSON log with size-based single-generation rotation.
 
@@ -99,7 +100,7 @@ class RotatingNdjsonLog:
     def __init__(self, path: str, max_bytes: int = 16 * 1024 * 1024):
         self.path = path
         self.max_bytes = int(max_bytes)
-        self._lock = threading.Lock()
+        self._lock = make_lock("RotatingNdjsonLog._lock")
         self._fh = open(path, "a", encoding="utf-8")
         self._size = os.fstat(self._fh.fileno()).st_size
 
@@ -116,6 +117,7 @@ class RotatingNdjsonLog:
             self._fh.flush()
             self._size += encoded_len
 
+    @holds_lock("_lock")
     def _rotate_locked(self) -> None:
         self._fh.close()
         os.replace(self.path, self.path + ".1")
@@ -151,6 +153,14 @@ class ServiceConfig:
     access_log_max_bytes: int = 16 * 1024 * 1024
 
 
+@guarded_by(
+    "_lock",
+    "_batchers",
+    "_request_counter",
+    "responses_by_status",
+    "responses_by_provider",
+    "_closed",
+)
 class LocalizationService:
     """Transport-free request handling over a warm localizer pool.
 
@@ -173,7 +183,7 @@ class LocalizationService:
         )
         self.started_monotonic = time.monotonic()
         self._batchers: Dict[str, MicroBatcher] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock("LocalizationService._lock")
         self._request_counter = 0
         self.responses_by_status: Dict[int, int] = {}
         self.responses_by_provider: Dict[str, int] = {}
@@ -207,7 +217,9 @@ class LocalizationService:
 
     def _batcher_for(self, scenario: str) -> MicroBatcher:
         """Get-or-create the scenario's micro-batcher (lock-protected)."""
-        batcher = self._batchers.get(scenario)
+        # Double-checked fast path: a stale miss only costs re-entering
+        # the locked slow path; dict reads are atomic under the GIL.
+        batcher = self._batchers.get(scenario)  # repro: noqa[RPR013] -- benign racy fast-path read, settled under the lock below
         if batcher is not None:
             return batcher
         warm = self.pool.get(scenario)

@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from repro.analysis.runtime_locks import guarded_by, make_lock
 from repro.core.engine import EngineConfig, SteeringCache
 from repro.core.localizer import BlocConfig, BlocLocalizer
 from repro.errors import ReproError
@@ -112,6 +113,7 @@ class WarmScenario:
         }
 
 
+@guarded_by("_lock", "_warm")
 class LocalizerPool:
     """Lazily-built, permanently-warm localizers keyed by scenario.
 
@@ -139,7 +141,7 @@ class LocalizerPool:
             EngineConfig(max_entries=max(4, len(self.scenarios)))
         )
         self._warm: Dict[str, WarmScenario] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock("LocalizerPool._lock")
 
     def names(self) -> List[str]:
         """Served scenario names, sorted."""
@@ -151,7 +153,9 @@ class LocalizerPool:
         Raises:
             UnknownScenarioError: when ``name`` is not served.
         """
-        warm = self._warm.get(name)
+        # Double-checked fast path: a stale miss only re-enters the
+        # locked slow path; dict reads are atomic under the GIL.
+        warm = self._warm.get(name)  # repro: noqa[RPR013] -- benign racy fast-path read, settled under the lock below
         if warm is not None:
             return warm
         if name not in self.scenarios:

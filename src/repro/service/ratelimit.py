@@ -17,7 +17,7 @@ Time is injected (``clock``) so tests drive the refill deterministically.
 
 from __future__ import annotations
 
-import threading
+from repro.analysis.runtime_locks import LockLike, guarded_by, make_lock
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, Optional
@@ -84,6 +84,13 @@ class TokenBucket:
         )
 
 
+@guarded_by(
+    "_lock",
+    "_buckets",
+    "allowed_total",
+    "throttled_total",
+    "rejected_total",
+)
 @dataclass
 class RateLimiter:
     """Per-API-key admission control for the service.
@@ -107,8 +114,9 @@ class RateLimiter:
     _buckets: Dict[str, TokenBucket] = field(
         default_factory=dict, repr=False
     )
-    _lock: threading.Lock = field(
-        default_factory=threading.Lock, repr=False
+    _lock: LockLike = field(
+        default_factory=lambda: make_lock("RateLimiter._lock"),
+        repr=False,
     )
 
     def authorized(self, api_key: Optional[str]) -> bool:

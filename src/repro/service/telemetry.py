@@ -29,11 +29,11 @@ Cardinality is bounded by construction: one gauge triple per anchor
 from __future__ import annotations
 
 import math
-import threading
 from typing import List, Optional
 
 import numpy as np
 
+from repro.analysis.runtime_locks import guarded_by, make_lock
 from repro.constants import BLOC_SCORE_DISTANCE_WEIGHT
 from repro.core.observations import ChannelObservations
 from repro.obs.diag import FixDiagnostics, band_quality
@@ -45,6 +45,7 @@ from repro.utils.geometry2d import Point
 FRACTION_BUCKETS = (0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0)
 
 
+@guarded_by("_lock", "_fixes")
 class AccuracyTelemetry:
     """Folds one locate decision at a time into accuracy instruments.
 
@@ -67,13 +68,15 @@ class AccuracyTelemetry:
     ):
         self.metrics = metrics
         self.monitor = monitor or AnchorHealthMonitor()
-        self._lock = threading.Lock()
+        self._lock = make_lock("AccuracyTelemetry._lock")
         self._fixes = 0
 
     @property
     def fixes_recorded(self) -> int:
-        """How many decisions have been folded in."""
-        return self._fixes
+        """How many decisions have been folded in (read under the
+        lock; batcher workers increment concurrently)."""
+        with self._lock:
+            return self._fixes
 
     def record_fix(
         self,

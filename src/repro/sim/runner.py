@@ -48,6 +48,7 @@ from typing import (
 
 import numpy as np
 
+from repro.analysis.runtime_locks import LockLike, guarded_by, make_lock
 from repro.core.observations import ChannelObservations
 from repro.errors import ConfigurationError, LocalizationError
 from repro.obs import LATENCY_BUCKETS_S, MetricsRegistry, get_observer
@@ -144,6 +145,7 @@ class EvaluationRun:
         ]
 
 
+@guarded_by("_lock", "_collected")
 @dataclass
 class DiagnosticsCapture:
     """Opt-in per-fix diagnostics collection for :func:`evaluate`.
@@ -174,8 +176,9 @@ class DiagnosticsCapture:
     _collected: Dict[
         int, Tuple[ChannelObservations, Optional[FixDiagnostics]]
     ] = field(default_factory=dict, repr=False)
-    _lock: threading.Lock = field(
-        default_factory=threading.Lock, repr=False
+    _lock: LockLike = field(
+        default_factory=lambda: make_lock("DiagnosticsCapture._lock"),
+        repr=False,
     )
 
     def collect(
@@ -189,8 +192,13 @@ class DiagnosticsCapture:
             self._collected[fix_index] = (observations, diagnostics)
 
     def diagnostics_for(self, fix_index: int) -> Optional[FixDiagnostics]:
-        """The captured diagnostics of one fix (None if not captured)."""
-        entry = self._collected.get(fix_index)
+        """The captured diagnostics of one fix (None if not captured).
+
+        Read under the lock: the sweep's worker threads may still be
+        collecting when a health monitor asks mid-run.
+        """
+        with self._lock:
+            entry = self._collected.get(fix_index)
         return entry[1] if entry is not None else None
 
 
@@ -543,6 +551,7 @@ def _execute_subset_fix(
     )
 
 
+@guarded_by("_lock", "_registries")
 class _WorkerRegistries:
     """One private :class:`MetricsRegistry` per worker thread.
 
@@ -554,7 +563,7 @@ class _WorkerRegistries:
 
     def __init__(self):
         self._local = threading.local()
-        self._lock = threading.Lock()
+        self._lock = make_lock("_WorkerRegistries._lock")
         self._registries: List[MetricsRegistry] = []
 
     def current(self) -> MetricsRegistry:

@@ -1,0 +1,51 @@
+"""RPR013 fixture: guarded fields accessed without their lock."""
+
+import threading
+
+from repro.analysis.runtime_locks import guarded_by, holds_lock
+
+_LOCK = threading.Lock()
+_TABLE = {}  # guarded-by: _LOCK
+
+_TABLE["init"] = 0  # module-level init is exempt
+
+
+@guarded_by("_lock", "_count", "_items")
+class Tracker:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0  # __init__ is exempt
+        self._items = []
+        self._stats = {}  # guarded-by: _lock
+
+    def safe_add(self, item):
+        with self._lock:
+            self._items.append(item)
+            self._count += 1
+
+    @holds_lock("_lock")
+    def _drain_locked(self):
+        drained = list(self._items)
+        self._items.clear()
+        return drained
+
+    def unsafe_read(self):
+        return self._count
+
+    def unsafe_write(self, item):
+        self._items.append(item)
+
+    def unsafe_comment_guard(self):
+        return dict(self._stats)
+
+    def waived(self):
+        return self._count  # repro: noqa[RPR013] -- fixture
+
+
+def unsafe_global():
+    return dict(_TABLE)
+
+
+def safe_global(key, value):
+    with _LOCK:
+        _TABLE[key] = value

@@ -1,0 +1,41 @@
+"""RPR013 clean fixture: every guarded access holds the lock."""
+
+import threading
+
+from repro.analysis.runtime_locks import guarded_by, holds_lock
+
+_LOCK = threading.Lock()
+_TABLE = {}  # guarded-by: _LOCK
+
+
+@guarded_by("_lock", "_count", "_items")
+class CleanTracker:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+        self._items = []
+        self.unguarded = "free"  # not declared: never checked
+
+    def add(self, item):
+        with self._lock:
+            self._items.append(item)
+            self._count += 1
+            return self._flush_locked()
+
+    @holds_lock("_lock")
+    def _flush_locked(self):
+        drained = list(self._items)
+        self._items.clear()
+        return drained
+
+    def count(self):
+        with self._lock:
+            return self._count
+
+    def free(self):
+        return self.unguarded
+
+
+def read_global():
+    with _LOCK:
+        return dict(_TABLE)

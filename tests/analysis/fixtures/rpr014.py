@@ -1,0 +1,48 @@
+"""RPR014 fixture: lock-order inversion cycles (lexical and via calls)."""
+
+import threading
+
+
+class Inverted:
+    def __init__(self):
+        self._a_lock = threading.Lock()
+        self._b_lock = threading.Lock()
+
+    def a_then_b(self):
+        with self._a_lock:
+            with self._b_lock:
+                pass
+
+    def b_then_a(self):
+        with self._b_lock:
+            with self._a_lock:
+                pass
+
+
+class ThroughCalls:
+    def __init__(self):
+        self._outer_lock = threading.Lock()
+        self._inner_lock = threading.Lock()
+
+    def forward(self):
+        with self._outer_lock:
+            self._take_inner()
+
+    def _take_inner(self):
+        with self._inner_lock:
+            pass
+
+    def backward(self):
+        with self._inner_lock:
+            with self._outer_lock:
+                pass
+
+
+class SameRank:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def merge(self, other):
+        with other._lock:
+            with self._lock:  # nested same-rank: deadlocks cross-instance
+                pass

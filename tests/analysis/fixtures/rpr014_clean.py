@@ -1,0 +1,40 @@
+"""RPR014 clean fixture: consistent order, sequential acquisitions."""
+
+import threading
+
+
+class Ordered:
+    def __init__(self):
+        self._a_lock = threading.Lock()
+        self._b_lock = threading.Lock()
+
+    def a_then_b(self):
+        with self._a_lock:
+            with self._b_lock:
+                pass
+
+    def also_a_then_b(self):
+        with self._a_lock:
+            self._take_b()
+
+    def _take_b(self):
+        with self._b_lock:
+            pass
+
+    def sequential_is_fine(self):
+        with self._b_lock:
+            pass
+        with self._a_lock:
+            pass
+
+
+class SnapshotMerge:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._data = {}
+
+    def merge(self, other):
+        with other._lock:  # sequential same-rank: snapshot first...
+            data = dict(other._data)
+        with self._lock:  # ...then fold in; never nested
+            self._data.update(data)

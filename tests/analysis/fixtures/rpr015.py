@@ -1,0 +1,29 @@
+"""RPR015 fixture: resources not released on all paths."""
+
+from multiprocessing import shared_memory
+
+
+def never_closed(path):
+    fh = open(path)
+    return fh.read()
+
+
+def success_path_only(path):
+    fh = open(path)
+    data = fh.read()
+    fh.close()
+    return data
+
+
+def segment_never_released(size):
+    shm = shared_memory.SharedMemory(create=True, size=size)
+    return shm.buf[0]
+
+
+def discarded_handle(path):
+    open(path, "a")
+
+
+def waived(path):
+    fh = open(path)  # repro: noqa[RPR015] -- fixture
+    return fh.read()

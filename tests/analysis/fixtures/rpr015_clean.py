@@ -1,0 +1,46 @@
+"""RPR015 clean fixture: every acquisition is released or handed off."""
+
+from multiprocessing import shared_memory
+
+
+def with_statement(path):
+    with open(path) as fh:
+        return fh.read()
+
+
+def try_finally(path):
+    fh = open(path)
+    try:
+        return fh.read()
+    finally:
+        fh.close()
+
+
+def ownership_returned(path):
+    return open(path)
+
+
+def ownership_stored(obj, path):
+    obj.fh = open(path)
+
+
+def ownership_passed(path, sink):
+    fh = open(path)
+    sink(fh)
+
+
+class Holder:
+    def __init__(self, size):
+        self._shm = shared_memory.SharedMemory(create=True, size=size)
+
+    def close(self):
+        self._shm.close()
+
+
+def segment_released(size):
+    shm = shared_memory.SharedMemory(create=True, size=size)
+    try:
+        return bytes(shm.buf[:1])
+    finally:
+        shm.close()
+        shm.unlink()

@@ -1,0 +1,134 @@
+"""Baseline waiver mechanics: round-trip, first-N marking, interaction
+with noqa suppression, and the never-grow ratchet property."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import (
+    BASELINE_FORMAT,
+    DEFAULT_BASELINE_PATH,
+    apply_baseline,
+    baseline_from_report,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.concurrency import concurrency_rules
+from repro.analysis.linting import LintEngine, LintReport
+
+DIRTY = '''\
+def never_closed(path):
+    fh = open(path)
+    return fh.read()
+
+
+def also_never_closed(path):
+    fh = open(path)
+    return fh.readlines()
+
+
+def waived_leak(path):
+    fh = open(path)  # repro: noqa[RPR015] -- test waiver
+    return fh.read()
+'''
+
+
+def dirty_report() -> LintReport:
+    engine = LintEngine(rules=concurrency_rules())
+    report = LintReport()
+    report.findings.extend(
+        engine.lint_source(DIRTY, path="pkg/leaky.py", rel="pkg/leaky.py")
+    )
+    report.files_checked = 1
+    return report
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        path = tmp_path / DEFAULT_BASELINE_PATH
+        write_baseline(path, {"pkg/leaky.py::RPR015": 2})
+        assert load_baseline(path) == {"pkg/leaky.py::RPR015": 2}
+        payload = json.loads(path.read_text())
+        assert payload["format"] == BASELINE_FORMAT
+        assert payload["version"] == 1
+        assert "shrink" in payload["comment"]
+
+    def test_keys_are_sorted(self, tmp_path):
+        path = tmp_path / "b.json"
+        write_baseline(path, {"z.py::RPR015": 1, "a.py::RPR013": 1})
+        payload = json.loads(path.read_text())
+        assert list(payload["waivers"]) == [
+            "a.py::RPR013",
+            "z.py::RPR015",
+        ]
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "typing_baseline.json"
+        path.write_text(json.dumps({"format": "repro-typing-baseline"}))
+        with pytest.raises(ValueError, match="not a repro-lint-baseline"):
+            load_baseline(path)
+
+
+class TestBaselineFromReport:
+    def test_counts_active_findings_per_key(self):
+        waivers = baseline_from_report(dirty_report())
+        assert waivers == {"pkg/leaky.py::RPR015": 2}
+
+    def test_suppressed_findings_are_not_waived(self):
+        # The noqa'd leak is already handled; baselining it too would
+        # hand out a spare waiver for a future regression.
+        report = dirty_report()
+        assert sum(1 for f in report.findings if f.suppressed) == 1
+        assert sum(baseline_from_report(report).values()) == 2
+
+
+class TestApplyBaseline:
+    def test_exact_coverage_leaves_nothing_failing(self):
+        report = apply_baseline(dirty_report(), {"pkg/leaky.py::RPR015": 2})
+        assert report.failing == []
+        assert len(report.baselined) == 2
+        assert all(f.baselined for f in report.active)
+
+    def test_first_n_marked_rest_fail(self):
+        report = apply_baseline(dirty_report(), {"pkg/leaky.py::RPR015": 1})
+        assert len(report.baselined) == 1
+        assert len(report.failing) == 1
+        # Deterministic order: the earlier finding consumes the waiver.
+        assert report.baselined[0].line < report.failing[0].line
+
+    def test_unknown_key_waives_nothing(self):
+        report = apply_baseline(
+            dirty_report(), {"other/module.py::RPR015": 5}
+        )
+        assert len(report.failing) == 2
+        assert report.baselined == []
+
+    def test_suppressed_findings_do_not_consume_waivers(self):
+        # One waiver + one noqa: the waiver must land on an *active*
+        # finding, not be burned by the suppressed one.
+        report = apply_baseline(dirty_report(), {"pkg/leaky.py::RPR015": 1})
+        assert not any(f.baselined for f in report.findings if f.suppressed)
+        assert len(report.baselined) == 1
+
+    def test_baselined_findings_render_tagged(self):
+        report = apply_baseline(dirty_report(), {"pkg/leaky.py::RPR015": 2})
+        assert all("[baselined]" in f.render() for f in report.baselined)
+
+    def test_ratchet_shrinks_after_fixes(self):
+        """Fix one leak, regenerate: the waiver count goes down."""
+        report = dirty_report()
+        before = baseline_from_report(report)
+        fixed = DIRTY.replace(
+            "def never_closed(path):\n    fh = open(path)\n    return fh.read()",
+            "def now_closed(path):\n    with open(path) as fh:\n        return fh.read()",
+        )
+        engine = LintEngine(rules=concurrency_rules())
+        after_report = LintReport()
+        after_report.findings.extend(
+            engine.lint_source(fixed, path="pkg/leaky.py", rel="pkg/leaky.py")
+        )
+        after = baseline_from_report(after_report)
+        assert after == {"pkg/leaky.py::RPR015": 1}
+        assert sum(after.values()) < sum(before.values())

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -11,6 +12,7 @@ from repro.__main__ import main
 CLEAN = "x = 1\n"
 DIRTY = "def f(x):\n    return x == 0.5\n"
 BROKEN = "def broken(:\n"
+LEAKY = "def leak(path):\n    fh = open(path)\n    return fh.read()\n"
 
 
 class TestLintCommand:
@@ -18,14 +20,14 @@ class TestLintCommand:
         (tmp_path / "ok.py").write_text(CLEAN)
         assert main(["lint", str(tmp_path)]) == 0
         out = capsys.readouterr().out
-        assert "0 finding(s)" in out
+        assert "0 failing finding(s)" in out
 
     def test_findings_exit_one(self, tmp_path, capsys):
         (tmp_path / "bad.py").write_text(DIRTY)
         assert main(["lint", str(tmp_path)]) == 1
         captured = capsys.readouterr()
         assert "RPR006" in captured.out
-        assert "1 finding(s)" in captured.err
+        assert "1 failing finding(s)" in captured.err
 
     def test_parse_error_exits_two(self, tmp_path):
         (tmp_path / "broken.py").write_text(BROKEN)
@@ -77,3 +79,168 @@ class TestLintCommand:
         )
         assert main(["lint", str(tmp_path), "--show-suppressed"]) == 0
         assert "[suppressed]" in capsys.readouterr().out
+
+
+class TestConcurrencyLint:
+    def test_off_by_default(self, tmp_path):
+        (tmp_path / "leaky.py").write_text(LEAKY)
+        assert main(["lint", str(tmp_path)]) == 0
+
+    def test_planted_violation_fails(self, tmp_path, capsys):
+        (tmp_path / "leaky.py").write_text(LEAKY)
+        code = main(["lint", str(tmp_path), "--concurrency", "--no-baseline"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "RPR015" in captured.out
+        assert "1 failing finding(s)" in captured.err
+
+    def test_select_enables_concurrency_rule_without_flag(self, tmp_path):
+        (tmp_path / "leaky.py").write_text(LEAKY)
+        assert main(["lint", str(tmp_path), "--select", "RPR015"]) == 1
+
+    def test_list_rules_includes_concurrency(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RPR013", "RPR014", "RPR015"):
+            assert rule_id in out
+
+    def test_noqa_waives_concurrency_finding(self, tmp_path):
+        (tmp_path / "waived.py").write_text(
+            "def leak(path):\n"
+            "    fh = open(path)  # repro: noqa[RPR015] -- handed to caller\n"
+            "    return fh.read()\n"
+        )
+        assert main(["lint", str(tmp_path), "--concurrency"]) == 0
+
+    def test_blanket_noqa_covers_concurrency_rules(self, tmp_path):
+        (tmp_path / "waived.py").write_text(
+            "def leak(path):\n"
+            "    fh = open(path)  # repro: noqa -- blanket\n"
+            "    return fh.read()\n"
+        )
+        assert main(["lint", str(tmp_path), "--concurrency"]) == 0
+
+
+class TestBaselineCli:
+    def test_update_baseline_writes_waivers(self, tmp_path, capsys):
+        (tmp_path / "leaky.py").write_text(LEAKY)
+        baseline = tmp_path / "waivers.json"
+        code = main(
+            [
+                "lint",
+                str(tmp_path),
+                "--concurrency",
+                "--update-baseline",
+                "--baseline",
+                str(baseline),
+            ]
+        )
+        assert code == 0
+        assert "wrote 1 waiver(s)" in capsys.readouterr().out
+        waivers = json.loads(baseline.read_text())["waivers"]
+        assert list(waivers.values()) == [1]
+        assert list(waivers)[0].endswith("leaky.py::RPR015")
+
+    def test_baselined_run_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "leaky.py").write_text(LEAKY)
+        baseline = tmp_path / "waivers.json"
+        main(
+            [
+                "lint",
+                str(tmp_path),
+                "--concurrency",
+                "--update-baseline",
+                "--baseline",
+                str(baseline),
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "lint",
+                str(tmp_path),
+                "--concurrency",
+                "--baseline",
+                str(baseline),
+                "--format",
+                "json",
+            ]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["num_failing"] == 0
+        assert data["num_baselined"] == 1
+        (baselined,) = [f for f in data["findings"] if f["baselined"]]
+        assert baselined["rule"] == "RPR015"
+
+    def test_new_debt_beyond_baseline_fails(self, tmp_path, capsys):
+        (tmp_path / "leaky.py").write_text(LEAKY)
+        baseline = tmp_path / "waivers.json"
+        main(
+            [
+                "lint",
+                str(tmp_path),
+                "--concurrency",
+                "--update-baseline",
+                "--baseline",
+                str(baseline),
+            ]
+        )
+        capsys.readouterr()
+        (tmp_path / "leaky.py").write_text(
+            LEAKY + "\n\ndef second_leak(path):\n"
+            "    fh = open(path)\n"
+            "    return fh.read()\n"
+        )
+        code = main(
+            [
+                "lint",
+                str(tmp_path),
+                "--concurrency",
+                "--baseline",
+                str(baseline),
+            ]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "1 failing finding(s), 1 baselined" in captured.err
+
+    def test_no_baseline_reports_everything(self, tmp_path, capsys):
+        (tmp_path / "leaky.py").write_text(LEAKY)
+        baseline = tmp_path / "waivers.json"
+        main(
+            [
+                "lint",
+                str(tmp_path),
+                "--concurrency",
+                "--update-baseline",
+                "--baseline",
+                str(baseline),
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "lint",
+                str(tmp_path),
+                "--concurrency",
+                "--baseline",
+                str(baseline),
+                "--no-baseline",
+            ]
+        )
+        assert code == 1
+
+    def test_committed_baseline_is_empty(self):
+        """The repo carries no concurrency debt: every violation found
+        during the rollout was fixed, not waived."""
+        from repro.analysis.baseline import (
+            DEFAULT_BASELINE_PATH,
+            load_baseline,
+        )
+
+        committed = (
+            Path(__file__).resolve().parents[2] / DEFAULT_BASELINE_PATH
+        )
+        assert committed.is_file()
+        assert load_baseline(committed) == {}

@@ -14,6 +14,12 @@ import os
 # @shaped decorator reads the environment at decoration (import) time.
 os.environ.setdefault("REPRO_CONTRACTS", "1")
 
+# Activate tsan-lite (repro.analysis.runtime_locks) too: every lock
+# created through make_lock becomes an order-checked CheckedLock and
+# @guarded_by classes enforce guarded writes, so the whole suite doubles
+# as a lock-discipline audit.  Same decoration-time caveat as above.
+os.environ.setdefault("REPRO_LOCK_CHECKS", "1")
+
 import numpy as np
 import pytest
 
